@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments-fast experiments-all examples clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments-fast:
+	$(PYTHON) -m repro.experiments run fast
+
+experiments-all:
+	$(PYTHON) -m repro.experiments run all --output results/
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache results
+	find . -name __pycache__ -type d -exec rm -rf {} +

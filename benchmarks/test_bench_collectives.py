@@ -1,0 +1,75 @@
+"""Benchmarks for Tables II/III/VI/VII and Figs. 7/8/14/15:
+Encrypted_Bcast and Encrypted_Alltoall at 64 ranks / 8 nodes."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig7, fig8, fig14, fig15
+from repro.experiments.tables import table2, table3, table6, table7
+
+
+def _row(table, label):
+    for row_label, cells in table.rows:
+        if row_label == label:
+            return [float(c.replace(",", "")) for c in cells]
+    raise KeyError(label)
+
+
+def _check_collective_table(artifact, rel_baseline, rel_encrypted):
+    """Baseline within *rel_baseline* of the paper; encrypted rows within
+    *rel_encrypted* at the bandwidth-dominated 4MB column, and ordered."""
+    base = _row(artifact.body, "Unencrypted")
+    paper_base = _row(artifact.body, "  (paper) Unencrypted")
+    assert base[2] == pytest.approx(paper_base[2], rel=rel_baseline)
+    prev = base
+    for lib in ("BoringSSL", "Libsodium", "CryptoPP"):
+        row = _row(artifact.body, lib)
+        paper_row = _row(artifact.body, f"  (paper) {lib}")
+        assert row[2] == pytest.approx(paper_row[2], rel=rel_encrypted), lib
+        assert row[2] > prev[2]  # each slower library costs more at 4MB
+        prev = row
+
+
+def test_table2_bcast_ethernet(benchmark):
+    artifact = run_once(benchmark, table2)
+    _check_collective_table(artifact, rel_baseline=0.35, rel_encrypted=0.4)
+
+
+def test_table3_alltoall_ethernet(benchmark):
+    artifact = run_once(benchmark, table3)
+    _check_collective_table(artifact, rel_baseline=0.35, rel_encrypted=0.4)
+
+
+def test_table6_bcast_infiniband(benchmark):
+    artifact = run_once(benchmark, table6)
+    _check_collective_table(artifact, rel_baseline=0.45, rel_encrypted=0.5)
+
+
+def test_table7_alltoall_infiniband(benchmark):
+    artifact = run_once(benchmark, table7)
+    _check_collective_table(artifact, rel_baseline=0.45, rel_encrypted=0.5)
+
+
+def _check_overhead_figure(artifact):
+    series = {s.label: dict(s.points) for s in artifact.body.series}
+    sizes = sorted(next(iter(series.values())))
+    big = sizes[-1]
+    # At the 4MB end the overhead ranking must match the library ranking.
+    assert series["BoringSSL"][big] < series["Libsodium"][big]
+    assert series["Libsodium"][big] < series["CryptoPP"][big]
+
+
+def test_fig7_bcast_overhead_ethernet(benchmark):
+    _check_overhead_figure(run_once(benchmark, fig7))
+
+
+def test_fig8_alltoall_overhead_ethernet(benchmark):
+    _check_overhead_figure(run_once(benchmark, fig8))
+
+
+def test_fig14_bcast_overhead_infiniband(benchmark):
+    _check_overhead_figure(run_once(benchmark, fig14))
+
+
+def test_fig15_alltoall_overhead_infiniband(benchmark):
+    _check_overhead_figure(run_once(benchmark, fig15))

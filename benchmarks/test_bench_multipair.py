@@ -1,0 +1,64 @@
+"""Benchmarks for Figs. 4-6 and 11-13: OSU multiple-pair bandwidth."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig4, fig5, fig6, fig11, fig12, fig13
+
+
+def _series(artifact):
+    return {s.label: dict(s.points) for s in artifact.body.series}
+
+
+def test_fig4_multipair_1b_ethernet(benchmark):
+    series = _series(run_once(benchmark, fig4))
+    base = series["Unencrypted"]
+    # Fig. 4 shape: baseline keeps scaling with pairs on Ethernet.
+    assert base[8] > 3.0 * base[2]
+    # CryptoPP pays the most for tiny messages.
+    assert series["CryptoPP"][8] < series["BoringSSL"][8]
+
+
+def test_fig5_multipair_16kb_ethernet(benchmark):
+    series = _series(run_once(benchmark, fig5))
+    base = series["Unencrypted"]
+    # Saturates at ~2 pairs...
+    assert base[8] < 1.25 * base[2]
+    # ...and even CryptoPP reaches ~baseline at 8 pairs (§V-A).
+    assert series["CryptoPP"][8] > 0.9 * base[8]
+
+
+def test_fig6_multipair_2mb_ethernet(benchmark):
+    series = _series(run_once(benchmark, fig6))
+    base = series["Unencrypted"]
+    # Single-pair: CryptoPP is crypto-bound well below the wire.
+    assert series["CryptoPP"][1] < 0.6 * base[1]
+    # Multi-pair: everyone converges toward the NIC limit.
+    assert series["BoringSSL"][8] > 0.9 * base[8]
+
+
+def test_fig11_multipair_1b_infiniband(benchmark):
+    series = _series(run_once(benchmark, fig11))
+    base = series["Unencrypted"]
+    # Fig. 11: contention throttles the 4->8 pair step.
+    assert base[8] < 1.35 * base[4]
+
+
+def test_fig12_multipair_16kb_infiniband(benchmark):
+    series = _series(run_once(benchmark, fig12))
+    base = series["Unencrypted"]
+    # §V-B: BoringSSL only reaches ~82% of the baseline at 8 pairs.
+    ratio = series["BoringSSL"][8] / base[8]
+    assert 0.6 < ratio < 0.97
+
+
+def test_fig13_multipair_2mb_infiniband(benchmark):
+    series = _series(run_once(benchmark, fig13))
+    base = series["Unencrypted"]
+    # Single pair: BoringSSL sits visibly below the 40Gb baseline (its
+    # 2.76 GB/s serial encryption paces injection; receive-side
+    # decryption pipelines with arrivals, so the gap is ~10-25%, not
+    # the naive 2x of enc+dec in series).
+    assert series["BoringSSL"][1] < 0.95 * base[1]
+    # CryptoPP is genuinely crypto-bound alone.
+    assert series["CryptoPP"][1] < 0.55 * base[1]
+    # Eight pairs close most of the gap.
+    assert series["BoringSSL"][8] > 0.8 * base[8]

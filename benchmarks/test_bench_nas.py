@@ -1,0 +1,39 @@
+"""Benchmarks for Tables IV and VIII: NAS class C, 64 ranks / 8 nodes."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.tables import table4, table8
+
+
+def _headline(artifact, lib):
+    return artifact.headlines[f"{lib} total overhead %"]
+
+
+def test_table4_nas_ethernet(benchmark):
+    artifact = run_once(benchmark, table4)
+    # The paper's headline: BoringSSL 12.75%, Libsodium 19.25%,
+    # CryptoPP 30.33% — shape gate: right ordering, right ballpark.
+    b, b_paper = _headline(artifact, "boringssl")
+    l, l_paper = _headline(artifact, "libsodium")
+    c, c_paper = _headline(artifact, "cryptopp")
+    assert b < l < c
+    assert b == pytest.approx(b_paper, abs=6)
+    assert l == pytest.approx(l_paper, abs=8)
+    assert c == pytest.approx(c_paper, abs=8)
+    # Encryption never makes a benchmark faster.
+    rows = {label: cells for label, cells in artifact.body.rows}
+    base = [float(x.replace(",", "")) for x in rows["Unencrypted"][:-2]]
+    for lib in ("BoringSSL", "Libsodium", "CryptoPP"):
+        enc = [float(x.replace(",", "")) for x in rows[lib][:-2]]
+        assert all(e >= 0.98 * b for e, b in zip(enc, base)), lib
+
+
+def test_table8_nas_infiniband(benchmark):
+    artifact = run_once(benchmark, table8)
+    b, b_paper = _headline(artifact, "boringssl")
+    l, l_paper = _headline(artifact, "libsodium")
+    c, c_paper = _headline(artifact, "cryptopp")
+    assert b < l < c
+    assert b == pytest.approx(b_paper, abs=8)
+    assert c == pytest.approx(c_paper, abs=8)

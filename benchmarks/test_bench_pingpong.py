@@ -1,0 +1,56 @@
+"""Benchmarks for Tables I & V and Figs. 3 & 10: ping-pong."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.figures import fig3, fig10
+from repro.experiments.tables import table1, table5
+from repro.util.units import MiB
+
+
+def _row(table, label):
+    for row_label, cells in table.rows:
+        if row_label == label:
+            return [float(c.replace(",", "")) for c in cells]
+    raise KeyError(label)
+
+
+def test_table1_pingpong_small_ethernet(benchmark):
+    artifact = run_once(benchmark, table1)
+    measured = _row(artifact.body, "Unencrypted")
+    paper = _row(artifact.body, "  (paper) Unencrypted")
+    # Baseline is calibrated: within 2% of every paper cell.
+    for m, p in zip(measured, paper):
+        assert m == pytest.approx(p, rel=0.02)
+    # Encrypted predictions: within 30% of each paper cell and
+    # correctly ordered (CryptoPP worst for tiny messages).
+    boring = _row(artifact.body, "BoringSSL")
+    cpp = _row(artifact.body, "CryptoPP")
+    paper_boring = _row(artifact.body, "  (paper) BoringSSL")
+    for m, p in zip(boring, paper_boring):
+        assert m == pytest.approx(p, rel=0.3)
+    assert cpp[0] < boring[0]
+
+
+def test_table5_pingpong_small_infiniband(benchmark):
+    artifact = run_once(benchmark, table5)
+    boring = _row(artifact.body, "BoringSSL")
+    paper_boring = _row(artifact.body, "  (paper) BoringSSL")
+    for m, p in zip(boring, paper_boring):
+        assert m == pytest.approx(p, rel=0.3)
+
+
+def test_fig3_pingpong_large_ethernet(benchmark):
+    artifact = run_once(benchmark, fig3)
+    measured, paper = artifact.headlines["BoringSSL overhead @2MB %"]
+    assert measured == pytest.approx(paper, abs=10)  # 78.3% headline
+
+
+def test_fig10_pingpong_large_infiniband(benchmark):
+    artifact = run_once(benchmark, fig10)
+    measured, paper = artifact.headlines["BoringSSL overhead @2MB %"]
+    assert measured == pytest.approx(paper, abs=25)  # 215.2% headline
+    # InfiniBand punishes encryption far harder than Ethernet.
+    series = {s.label: dict(s.points) for s in artifact.body.series}
+    gap_ib = series["Unencrypted"][2 * MiB] / series["BoringSSL"][2 * MiB]
+    assert gap_ib > 2.5

@@ -1,0 +1,14 @@
+"""Ensure the in-tree package is importable even without installation.
+
+`pip install -e .` needs the `wheel` package for PEP-517 editable
+installs; on offline hosts without it, `python setup.py develop` works,
+and this shim additionally lets `pytest` run straight from a clean
+checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Communication characterization of a NAS proxy.
+
+Uses the simulator's tracing facility to answer, for the FT benchmark
+at a reduced scale: how many messages, how many bytes, which routes are
+hottest, and what the encrypted +28-byte framing costs on the wire —
+the kind of data the paper's overhead analysis is built on.
+
+Run:  python examples/comm_characterization.py
+"""
+
+from repro.encmpi import EncryptedComm, SecurityConfig
+from repro.models.cpu import ClusterSpec
+from repro.simmpi import run_program
+from repro.workloads.nas.common import NasComm
+from repro.workloads.nas import get_benchmark
+
+CLUSTER = ClusterSpec(nodes=4, cores_per_node=4)
+NRANKS = 16
+
+
+def characterize(library: str | None):
+    bench = get_benchmark("ft")
+
+    def prog(ctx):
+        enc = None
+        if library is not None:
+            enc = EncryptedComm(
+                ctx, SecurityConfig(library=library, crypto_mode="modeled")
+            )
+        comm = NasComm(ctx, enc)
+        bench.skeleton(comm, 0)  # one iteration
+
+    result = run_program(NRANKS, prog, cluster=CLUSTER, trace=True)
+    return result.trace
+
+
+def main() -> None:
+    print(f"=== FT class C skeleton, one iteration, {NRANKS} ranks ===\n")
+    print("-- unencrypted --")
+    base = characterize(None)
+    print(base.render())
+
+    print("\n-- encrypted (BoringSSL) --")
+    enc = characterize("boringssl")
+    print(enc.render())
+
+    added = enc.total_wire_bytes - base.total_wire_bytes
+    print(
+        f"\nwire bytes added by encryption: {added} "
+        f"({enc.total_messages} frames x 28 B = "
+        f"{added / base.total_wire_bytes * 100:.5f}% of the traffic) — "
+        "for bandwidth-bound benchmarks the nonce+tag framing is "
+        "negligible; the cost is the encryption *time*, not the bytes."
+    )
+    heavy = base.heaviest_routes(1)[0]
+    print(
+        f"hottest route {heavy[0][0]}->{heavy[0][1]} carries "
+        f"{heavy[1].payload_bytes / 1e6:.2f} MB per iteration — the "
+        "alltoall transpose dominates FT, which is why its encrypted "
+        "overhead tracks the alltoall tables rather than ping-pong."
+    )
+
+
+if __name__ == "__main__":
+    main()

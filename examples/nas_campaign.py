@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""A miniature NAS campaign: the paper's Table IV/VIII experiment.
+
+Runs three NAS proxy benchmarks (CG, FT, IS — the fast ones) at the
+paper's 64-rank/8-node scale on both fabrics, for the baseline and all
+three cryptographic libraries, and prints the per-benchmark runtimes
+and the total-time overheads exactly the way the paper reports them
+(totals, not averaged ratios — footnote 2).
+
+For the full seven-benchmark sweep use:
+    python -m repro.experiments run table4 table8
+
+Run:  python examples/nas_campaign.py      (~2-3 minutes on one core)
+"""
+
+from repro.util.stats import total_time_overhead_percent
+from repro.workloads.nas import run_nas
+
+BENCHMARKS = ("cg", "ft", "is")
+LIBRARIES = (None, "boringssl", "libsodium", "cryptopp")
+
+
+def main() -> None:
+    for network in ("ethernet", "infiniband"):
+        print(f"=== NAS class C, 64 ranks / 8 nodes, {network} ===")
+        totals: dict[str | None, list[float]] = {}
+        for lib in LIBRARIES:
+            row = []
+            for bench in BENCHMARKS:
+                result = run_nas(bench, network=network, library=lib)
+                row.append(result.total_seconds)
+            totals[lib] = row
+            label = lib or "unencrypted"
+            cells = "  ".join(
+                f"{b.upper()} {t:6.2f}s" for b, t in zip(BENCHMARKS, row)
+            )
+            print(f"  {label:12s} {cells}")
+        for lib in LIBRARIES[1:]:
+            ovh = total_time_overhead_percent(totals[lib], totals[None])
+            print(f"  -> {lib} overhead (from totals): {ovh:.2f}%")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Multi-core encryption: the paper's closing prescription, quantified.
+
+§V-C: single-thread encryption cannot keep up with modern fabrics, so
+"one will almost have no choice but to parallelize encryption using
+multiple threads".  This example sends a 2 MB message over InfiniBand
+(where the paper measured 215% ping-pong overhead) three ways:
+
+  1. unencrypted baseline,
+  2. serial AES-GCM (the paper's implementation),
+  3. chunked AES-GCM pipelined across the node's idle cores
+     (repro.encmpi.pipeline),
+
+and sweeps the chunk size to show the overhead collapsing as cores
+absorb the crypto.
+
+Run:  python examples/pipelined_encryption.py
+"""
+
+from repro.encmpi import EncryptedComm, SecurityConfig
+from repro.encmpi.pipeline import PipelinedCrypto, plan_pipeline
+from repro.models.cpu import ClusterSpec
+from repro.models.cryptolib import get_profile
+from repro.simmpi import run_program
+from repro.util.units import KiB, MiB, format_time
+
+SIZE = 2 * MiB
+CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)  # 7 idle cores per node
+
+
+def baseline(ctx):
+    if ctx.rank == 0:
+        ctx.comm.send(b"z" * SIZE, 1, tag=0)
+        return ctx.now
+    ctx.comm.recv(0, 0)
+    return ctx.now
+
+
+def serial(ctx):
+    enc = EncryptedComm(ctx, SecurityConfig(crypto_mode="modeled"))
+    if ctx.rank == 0:
+        enc.send(b"z" * SIZE, 1, tag=0)
+        return ctx.now
+    enc.recv(0, 0)
+    return ctx.now
+
+
+def pipelined(chunk):
+    def job(ctx):
+        enc = EncryptedComm(ctx, SecurityConfig(crypto_mode="modeled"))
+        pipe = PipelinedCrypto(enc, chunk_bytes=chunk)
+        if ctx.rank == 0:
+            pipe.send(b"z" * SIZE, 1, tag=0)
+            return ctx.now
+        pipe.recv(0, 0)
+        return ctx.now
+
+    return job
+
+
+def main() -> None:
+    t_base = run_program(2, baseline, network="infiniband", cluster=CLUSTER).results[1]
+    t_serial = run_program(2, serial, network="infiniband", cluster=CLUSTER).results[1]
+    print(f"2MB over InfiniBand: baseline {format_time(t_base)}, "
+          f"serial AES-GCM {format_time(t_serial)} "
+          f"(+{(t_serial / t_base - 1) * 100:.0f}%)")
+
+    print("\npipelined encryption (8 cores per node):")
+    for chunk in (1 * MiB, 512 * KiB, 256 * KiB, 128 * KiB, 64 * KiB):
+        t = run_program(
+            2, pipelined(chunk), network="infiniband", cluster=CLUSTER
+        ).results[1]
+        print(f"  chunk {str(chunk // KiB).rjust(4)}KB: {format_time(t)} "
+              f"(+{(t / t_base - 1) * 100:5.1f}% vs baseline)")
+
+    profile = get_profile("boringssl", "mvapich")
+    plan = plan_pipeline(profile, SIZE, cores=8, chunk_bytes=256 * KiB)
+    print(f"\nschedule for 2MB @256KB chunks on 8 cores: {plan.nchunks} chunks, "
+          f"{plan.waves} wave(s), crypto speedup {plan.speedup:.1f}x")
+    print("conclusion: with idle cores absorbing AES-GCM, the 215% single-"
+          "thread penalty shrinks to a small constant — the paper's "
+          "parallelize-encryption thesis.")
+
+
+if __name__ == "__main__":
+    main()

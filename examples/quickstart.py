@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Quickstart: encrypted MPI in five minutes.
+
+Runs a tiny simulated cluster job twice — once over plain MPI, once
+over the AES-GCM-encrypted MPI of the paper — and shows (a) the
+payload is protected on the wire, (b) tampering is detected, and
+(c) what encryption costs in time on the two fabrics the paper studies.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.encmpi import EncryptedComm, SecurityConfig
+from repro.models.cpu import ClusterSpec
+from repro.simmpi import run_program
+from repro.util.units import format_time
+
+MESSAGE = b"patient-record:42;bp=120/80;diagnosis=classified" * 100
+CLUSTER = ClusterSpec(nodes=2, cores_per_node=4)
+
+
+def plain_job(ctx):
+    """Two ranks exchanging a record over ordinary MPI."""
+    if ctx.rank == 0:
+        ctx.comm.send(MESSAGE, 1, tag=0)
+        return ctx.now
+    data, status = ctx.comm.recv(0, 0)
+    assert data == MESSAGE
+    return ctx.now
+
+
+def encrypted_job(ctx):
+    """Same exchange through the encrypted layer (BoringSSL profile,
+    AES-GCM-256, random nonces — the paper's default)."""
+    enc = EncryptedComm(ctx, SecurityConfig(library="boringssl"))
+    if ctx.rank == 0:
+        enc.send(MESSAGE, 1, tag=0)
+        return ctx.now
+    data, status = enc.recv(0, 0)
+    assert data == MESSAGE
+    return ctx.now
+
+
+def eavesdropper_job(ctx):
+    """What does the wire actually carry?  Rank 1 peeks at the raw
+    bytes before decrypting: nonce || ciphertext || tag, and the
+    plaintext is nowhere in it."""
+    enc = EncryptedComm(ctx, SecurityConfig())
+    if ctx.rank == 0:
+        enc.send(MESSAGE, 1, tag=0)
+        return None
+    wire = ctx.comm.irecv(0, 0).wait()
+    assert len(wire) == len(MESSAGE) + 28, "Algorithm 1: l+28 bytes on the wire"
+    assert MESSAGE[:64] not in wire, "plaintext must not appear on the wire"
+    plaintext = enc._decrypt_charged(wire)
+    assert plaintext == MESSAGE
+    return len(wire)
+
+
+def tamper_job(ctx):
+    """An in-network adversary flips one bit: AES-GCM refuses it."""
+    from repro.crypto.errors import AuthenticationError
+
+    enc = EncryptedComm(ctx, SecurityConfig())
+    if ctx.rank == 0:
+        enc.send(MESSAGE, 1, tag=0)
+        return None
+    wire = bytearray(ctx.comm.irecv(0, 0).wait())
+    wire[40] ^= 0x01
+    try:
+        enc._decrypt_charged(bytes(wire))
+    except AuthenticationError:
+        return "tamper detected"
+    return "TAMPER MISSED"
+
+
+def main() -> None:
+    print("— plain vs encrypted exchange on both fabrics —")
+    for network in ("ethernet", "infiniband"):
+        t_plain = run_program(2, plain_job, network=network, cluster=CLUSTER)
+        t_enc = run_program(2, encrypted_job, network=network, cluster=CLUSTER)
+        plain, enc = t_plain.results[1], t_enc.results[1]
+        print(
+            f"  {network:11s} plain {format_time(plain)}  "
+            f"encrypted {format_time(enc)}  (+{(enc / plain - 1) * 100:.1f}%)"
+        )
+
+    print("— wire inspection —")
+    res = run_program(2, eavesdropper_job, cluster=CLUSTER)
+    print(f"  wire carries {res.results[1]} bytes (plaintext {len(MESSAGE)}), "
+          "no plaintext visible")
+
+    print("— tamper detection —")
+    res = run_program(2, tamper_job, cluster=CLUSTER)
+    print(f"  {res.results[1]}")
+
+
+if __name__ == "__main__":
+    main()

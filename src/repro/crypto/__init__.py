@@ -1,0 +1,33 @@
+"""Cryptographic substrate.
+
+Real cryptography with real bytes:
+
+- :mod:`repro.crypto.aes` — from-scratch AES-128/192/256 block cipher,
+- :mod:`repro.crypto.gcm` — from-scratch AES-GCM AEAD (GHASH + CTR),
+- :mod:`repro.crypto.modes` — the classical ECB/CBC/CTR modes that prior
+  encrypted-MPI systems misused (§II of the paper),
+- :mod:`repro.crypto.otp` — the VAN-MPICH2-style flawed one-time pad,
+- :mod:`repro.crypto.attacks` — working demonstrations of why those
+  constructions fail (pattern leakage, two-time pad, malleability),
+- :mod:`repro.crypto.aead` / :mod:`repro.crypto.backends` — the uniform
+  AEAD interface with a fast OpenSSL-backed implementation (via the
+  ``cryptography`` package, optional) and the pure-Python fallback,
+- :mod:`repro.crypto.keys` / :mod:`repro.crypto.nonces` — key
+  generation, HKDF, and nonce disciplines (counter vs random).
+"""
+
+from repro.crypto.errors import (
+    AuthenticationError,
+    CryptoError,
+    NonceReuseError,
+)
+from repro.crypto.aead import AEAD, available_backends, get_aead
+
+__all__ = [
+    "AEAD",
+    "get_aead",
+    "available_backends",
+    "CryptoError",
+    "AuthenticationError",
+    "NonceReuseError",
+]

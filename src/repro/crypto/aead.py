@@ -1,0 +1,112 @@
+"""The uniform AEAD interface used by the encrypted MPI layer.
+
+The paper's prototypes select among four C cryptographic libraries at
+build time; our encrypted MPI selects among registered AEAD *backends*
+at run time.  Two real backends exist (``openssl`` via the
+``cryptography`` package, and the ``pure`` from-scratch implementation);
+the performance identity of the paper's four libraries is carried by the
+cost models in :mod:`repro.models.cryptolib`, not by which real backend
+computes the bytes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.crypto.errors import CryptoError, KeyFormatError
+
+NONCE_SIZE = 12
+TAG_SIZE = 16
+#: Per-message wire overhead of encrypted MPI: 12-byte nonce + 16-byte tag.
+WIRE_OVERHEAD = NONCE_SIZE + TAG_SIZE
+
+_VALID_KEY_SIZES = (16, 24, 32)
+
+
+class AEAD(abc.ABC):
+    """Nonce-based authenticated encryption (the paper's §III-A syntax).
+
+    ``seal``/``open`` mirror Enc(K, N, M) and Dec(K, N, C): the nonce is
+    provided per message and must never repeat under one key.
+    """
+
+    #: backend identifier ("openssl", "pure", ...)
+    name: str = "abstract"
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray, memoryview)):
+            raise KeyFormatError(f"key must be bytes, got {type(key).__name__}")
+        key = bytes(key)
+        if len(key) not in _VALID_KEY_SIZES:
+            raise KeyFormatError(
+                f"AES-GCM key must be one of {_VALID_KEY_SIZES} bytes, got {len(key)}"
+            )
+        self.key = key
+
+    @property
+    def key_bits(self) -> int:
+        return len(self.key) * 8
+
+    @abc.abstractmethod
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Encrypt and authenticate; returns ciphertext || tag."""
+
+    @abc.abstractmethod
+    def open(self, nonce: bytes, ciphertext: bytes, aad: bytes = b"") -> bytes:
+        """Verify and decrypt; raises AuthenticationError on tampering."""
+
+    def wire_size(self, plaintext_len: int) -> int:
+        """Bytes on the wire for a message: nonce + ciphertext + tag.
+
+        This is the paper's ℓ+28: 12-byte nonce, ℓ-byte ciphertext,
+        16-byte tag (§IV, Algorithm 1).
+        """
+        return plaintext_len + WIRE_OVERHEAD
+
+
+_REGISTRY: dict[str, Callable[[bytes], AEAD]] = {}
+
+
+def register_backend(name: str, factory: Callable[[bytes], AEAD]) -> None:
+    if name in _REGISTRY:
+        raise ValueError(f"backend {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    """Names of registered AEAD backends, preferred order first."""
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def get_aead(key: bytes, backend: str = "auto") -> AEAD:
+    """Instantiate an AEAD for *key*.
+
+    ``backend="auto"`` picks the fastest available backend (OpenSSL via
+    ``cryptography`` when importable, else the pure-Python fallback).
+    """
+    _ensure_loaded()
+    if backend == "auto":
+        for name in ("openssl", "pure"):
+            if name in _REGISTRY:
+                return _REGISTRY[name](key)
+        raise CryptoError("no AEAD backends registered")
+    try:
+        factory = _REGISTRY[backend]
+    except KeyError:
+        raise CryptoError(
+            f"unknown AEAD backend {backend!r}; available: {available_backends()}"
+        ) from None
+    return factory(key)
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    global _loaded
+    if not _loaded:
+        from repro.crypto import backends  # noqa: F401  (registers on import)
+
+        _loaded = True

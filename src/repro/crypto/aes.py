@@ -1,0 +1,221 @@
+"""From-scratch AES block cipher (FIPS-197) for 128/192/256-bit keys.
+
+This is the reproduction's own implementation of the blockcipher that
+AES-GCM is built on (§III-A).  It is written for clarity and
+verifiability rather than speed: the S-box is *derived* (multiplicative
+inverse in GF(2^8) followed by the affine map) instead of pasted in, and
+the round transformation follows the specification structure directly.
+It is validated against the FIPS-197 appendix vectors and against the
+OpenSSL-backed implementation in the test suite.
+
+Performance note: a pure-Python AES runs at roughly 10^5 bytes/s, about
+four orders of magnitude slower than AES-NI.  The simulator therefore
+charges *modeled* time from the calibrated library profiles
+(:mod:`repro.models.cryptolib`) and uses the OpenSSL backend for bulk
+payload encryption when available; this module is the reference
+implementation and the fallback.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.errors import KeyFormatError
+
+BLOCK_SIZE = 16
+
+#: Round counts per FIPS-197 Table 4 (keyed by key length in bytes).
+_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+
+def _build_gf_tables() -> tuple[list[int], list[int]]:
+    """Exp/log tables for GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1."""
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply x by the generator 0x03 = x + 1
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+    return exp, log
+
+
+_GF_EXP, _GF_LOG = _build_gf_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(2^8) (exposed for GHASH tests and docs)."""
+    if a == 0 or b == 0:
+        return 0
+    return _GF_EXP[_GF_LOG[a] + _GF_LOG[b]]
+
+
+def _gf_inv(a: int) -> int:
+    if a == 0:
+        return 0
+    return _GF_EXP[255 - _GF_LOG[a]]
+
+
+def _build_sbox() -> tuple[bytes, bytes]:
+    """Derive the AES S-box: GF(2^8) inversion + affine transformation."""
+    sbox = bytearray(256)
+    for value in range(256):
+        inv = _gf_inv(value)
+        # affine map: b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7} ^ c_i
+        result = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            result |= b << bit
+        sbox[value] = result
+    inv_sbox = bytearray(256)
+    for i, v in enumerate(sbox):
+        inv_sbox[v] = i
+    return bytes(sbox), bytes(inv_sbox)
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+# xtime tables for MixColumns (multiplication by 2 and 3) and the
+# inverse-MixColumns constants 9, 11, 13, 14.
+_MUL = {n: bytes(gf_mul(n, v) for v in range(256)) for n in (2, 3, 9, 11, 13, 14)}
+
+_RCON = [0x01]
+while len(_RCON) < 14:
+    _RCON.append(gf_mul(_RCON[-1], 2))
+
+
+class AES:
+    """The raw AES block transformation (a single 16-byte block).
+
+    Higher-level modes (GCM, CTR, CBC, ECB) compose this primitive; see
+    :mod:`repro.crypto.gcm` and :mod:`repro.crypto.modes`.
+    """
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray, memoryview)):
+            raise KeyFormatError(f"key must be bytes, got {type(key).__name__}")
+        key = bytes(key)
+        if len(key) not in _ROUNDS:
+            raise KeyFormatError(
+                f"AES key must be 16, 24 or 32 bytes, got {len(key)}"
+            )
+        self.key_size = len(key)
+        self.rounds = _ROUNDS[len(key)]
+        self._round_keys = self._expand_key(key)
+
+    # -- key schedule ------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> list[list[int]]:
+        """FIPS-197 §5.2 key expansion, returned as 4-byte words."""
+        nk = len(key) // 4
+        words: list[list[int]] = [list(key[4 * i : 4 * i + 4]) for i in range(nk)]
+        total_words = 4 * (self.rounds + 1)
+        for i in range(nk, total_words):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= _RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [SBOX[b] for b in temp]  # extra SubWord for AES-256
+            words.append([a ^ b for a, b in zip(words[i - nk], temp)])
+        return words
+
+    def _round_key(self, round_index: int) -> list[int]:
+        """Round key as a flat 16-byte list in column-major state order."""
+        ws = self._round_keys[4 * round_index : 4 * round_index + 4]
+        return [b for w in ws for b in w]
+
+    # -- block transforms ----------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = [b ^ k for b, k in zip(block, self._round_key(0))]
+        for rnd in range(1, self.rounds):
+            state = _sub_bytes(state)
+            state = _shift_rows(state)
+            state = _mix_columns(state)
+            state = [b ^ k for b, k in zip(state, self._round_key(rnd))]
+        state = _sub_bytes(state)
+        state = _shift_rows(state)
+        state = [b ^ k for b, k in zip(state, self._round_key(self.rounds))]
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = [b ^ k for b, k in zip(block, self._round_key(self.rounds))]
+        for rnd in range(self.rounds - 1, 0, -1):
+            state = _inv_shift_rows(state)
+            state = _inv_sub_bytes(state)
+            state = [b ^ k for b, k in zip(state, self._round_key(rnd))]
+            state = _inv_mix_columns(state)
+        state = _inv_shift_rows(state)
+        state = _inv_sub_bytes(state)
+        state = [b ^ k for b, k in zip(state, self._round_key(0))]
+        return bytes(state)
+
+
+# The state is kept as a flat 16-list in the FIPS byte order, where byte
+# i sits at row i % 4, column i // 4.
+
+
+def _sub_bytes(state: list[int]) -> list[int]:
+    return [SBOX[b] for b in state]
+
+
+def _inv_sub_bytes(state: list[int]) -> list[int]:
+    return [INV_SBOX[b] for b in state]
+
+
+# Flat-index permutations for ShiftRows on the column-major state layout:
+# the byte at row r, column c lives at flat index 4*c + r.
+_SHIFT: list[int] = []
+for c in range(4):
+    for r in range(4):
+        _SHIFT.append(4 * ((c + r) % 4) + r)
+_INV_SHIFT = [0] * 16
+for dst, src in enumerate(_SHIFT):
+    _INV_SHIFT[src] = dst
+
+
+def _shift_rows(state: list[int]) -> list[int]:
+    return [state[src] for src in _SHIFT]
+
+
+def _inv_shift_rows(state: list[int]) -> list[int]:
+    return [state[src] for src in _INV_SHIFT]
+
+
+def _mix_columns(state: list[int]) -> list[int]:
+    m2, m3 = _MUL[2], _MUL[3]
+    out = [0] * 16
+    for c in range(0, 16, 4):
+        a0, a1, a2, a3 = state[c : c + 4]
+        out[c] = m2[a0] ^ m3[a1] ^ a2 ^ a3
+        out[c + 1] = a0 ^ m2[a1] ^ m3[a2] ^ a3
+        out[c + 2] = a0 ^ a1 ^ m2[a2] ^ m3[a3]
+        out[c + 3] = m3[a0] ^ a1 ^ a2 ^ m2[a3]
+    return out
+
+
+def _inv_mix_columns(state: list[int]) -> list[int]:
+    m9, m11, m13, m14 = _MUL[9], _MUL[11], _MUL[13], _MUL[14]
+    out = [0] * 16
+    for c in range(0, 16, 4):
+        a0, a1, a2, a3 = state[c : c + 4]
+        out[c] = m14[a0] ^ m11[a1] ^ m13[a2] ^ m9[a3]
+        out[c + 1] = m9[a0] ^ m14[a1] ^ m11[a2] ^ m13[a3]
+        out[c + 2] = m13[a0] ^ m9[a1] ^ m14[a2] ^ m11[a3]
+        out[c + 3] = m11[a0] ^ m13[a1] ^ m9[a2] ^ m14[a3]
+    return out

@@ -1,0 +1,105 @@
+"""Working demonstrations of the vulnerabilities catalogued in §II.
+
+Each function mounts the attack against the corresponding construction
+from :mod:`repro.crypto.modes` / :mod:`repro.crypto.otp` and returns
+evidence the caller (tests, ``examples/attack_demos.py``) can assert on.
+The same attacks are shown to fail against AES-GCM.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.crypto.aes import BLOCK_SIZE
+from repro.crypto.modes import CBC, CTR, ECB
+from repro.crypto.otp import BigKeyPad, xor_bytes
+
+
+def ecb_block_repetition(ecb: ECB, plaintext: bytes) -> dict[bytes, int]:
+    """ES-MPICH2's flaw: ECB maps equal plaintext blocks to equal
+    ciphertext blocks.
+
+    Returns the histogram of repeated ciphertext blocks; any count > 1
+    is structure leaking through the encryption.  A random-looking mode
+    (GCM, CTR with fresh nonces) yields an empty histogram.
+    """
+    ciphertext = ecb.encrypt(plaintext)
+    blocks = [
+        ciphertext[i : i + BLOCK_SIZE] for i in range(0, len(ciphertext), BLOCK_SIZE)
+    ]
+    counts = Counter(blocks)
+    return {block: n for block, n in counts.items() if n > 1}
+
+
+def ecb_prefix_equality_oracle(ecb: ECB, secret_a: bytes, secret_b: bytes) -> bool:
+    """Even without repetitions *within* a message, ECB reveals whether
+    two messages share a prefix — e.g. two ranks sending the same
+    record.  True iff the leading blocks of the ciphertexts match."""
+    ca = ecb.encrypt(secret_a)
+    cb = ecb.encrypt(secret_b)
+    return ca[:BLOCK_SIZE] == cb[:BLOCK_SIZE]
+
+
+def two_time_pad_xor(pad: BigKeyPad, message_a: bytes, message_b: bytes) -> bytes | None:
+    """VAN-MPICH2's flaw: overlapping pad substrings cancel.
+
+    Encrypts *message_a* then *message_b*; if their pads overlap,
+    returns the XOR of the overlapping plaintext segments, recovered
+    purely from ciphertexts and offsets (no key access).  Returns None
+    when there was no overlap.
+    """
+    off_a, ct_a = pad.encrypt(message_a)
+    off_b, ct_b = pad.encrypt(message_b)
+    lo = max(off_a, off_b)
+    hi = min(off_a + len(ct_a), off_b + len(ct_b))
+    if hi <= lo:
+        return None
+    seg_a = ct_a[lo - off_a : hi - off_a]
+    seg_b = ct_b[lo - off_b : hi - off_b]
+    # (Ma ^ P) ^ (Mb ^ P) = Ma ^ Mb over the shared pad region.
+    return xor_bytes(seg_a, seg_b)
+
+
+def force_pad_overlap(key_len: int = 256, msg_len: int = 200) -> tuple[BigKeyPad, bytes]:
+    """Build a BigKeyPad and message sizes guaranteed to overlap on the
+    second message (total traffic exceeds the key), mirroring the
+    paper's 'many large messages' condition."""
+    pad = BigKeyPad(key_len=key_len)
+    return pad, b"A" * msg_len
+
+
+def cbc_bitflip(cbc: CBC, plaintext: bytes, target_block: int,
+                original: bytes, desired: bytes) -> bytes:
+    """CBC malleability: flip chosen plaintext bits without the key.
+
+    Given a ciphertext of *plaintext*, XORs the previous ciphertext
+    block with ``original ^ desired`` so that block *target_block* of
+    the decryption becomes *desired* (while garbling block
+    *target_block - 1*).  Returns the decrypted tampered message —
+    undetected, because CBC has no integrity.
+    """
+    if len(original) != len(desired):
+        raise ValueError("original/desired length mismatch")
+    data = bytearray(cbc.encrypt(plaintext))
+    # Block 0 of the ciphertext is the IV; plaintext block n is chained
+    # with ciphertext block n-1, i.e. bytes [n*16, n*16+16) of `data`.
+    offset = target_block * BLOCK_SIZE
+    delta = xor_bytes(original, desired)
+    for i, d in enumerate(delta):
+        data[offset + i] ^= d
+    return cbc.decrypt(bytes(data))
+
+
+def ctr_bitflip(ctr: CTR, plaintext: bytes, position: int, delta: int) -> bytes:
+    """CTR malleability: XOR a ciphertext byte, the same plaintext byte
+    flips — no key needed, no detection possible."""
+    data = bytearray(ctr.encrypt(plaintext))
+    data[8 + position] ^= delta  # skip the 8-byte nonce prefix
+    return ctr.decrypt(bytes(data))
+
+
+def replay_capture_and_resend(transcript: list[bytes]) -> list[bytes]:
+    """The replay attack of §III footnote 1: an adversary that records
+    ciphertexts can resend them verbatim; without replay protection the
+    receiver accepts both copies.  Returns the replayed transcript."""
+    return transcript + transcript[:1]

@@ -1,0 +1,167 @@
+"""From-scratch ChaCha20-Poly1305 AEAD (RFC 8439).
+
+Why it is here: §III-B notes Libsodium "only supports AES-GCM with
+256-bit keys" — but AES-GCM is not Libsodium's *native* cipher.  Its
+preferred AEAD is ChaCha20-Poly1305, which needs no AES-NI hardware and
+runs at a stable rate on any CPU.  The reproduction includes a full
+implementation so the what-if ablation ("what would Libsodium's numbers
+look like under its native cipher?") can be run with real cryptography
+(see ``benchmarks/test_bench_ablation_chacha.py``), and because a
+second, structurally different AEAD is a good adversarial check of the
+AEAD abstraction.
+
+Validated against the RFC 8439 test vectors in the test suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.errors import AuthenticationError, CryptoError, KeyFormatError
+
+KEY_SIZE = 32
+NONCE_SIZE = 12
+TAG_SIZE = 16
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(v: int, n: int) -> int:
+    return ((v << n) & _MASK32) | (v >> (32 - n))
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+#: "expand 32-byte k", the ChaCha constant words.
+_SIGMA = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """One 64-byte ChaCha20 block (RFC 8439 §2.3)."""
+    if len(key) != KEY_SIZE:
+        raise KeyFormatError(f"ChaCha20 key must be 32 bytes, got {len(key)}")
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"ChaCha20 nonce must be 12 bytes, got {len(nonce)}")
+    if not 0 <= counter < 2**32:
+        raise CryptoError(f"block counter out of range: {counter}")
+    state = list(_SIGMA)
+    state += list(struct.unpack("<8L", key))
+    state.append(counter)
+    state += list(struct.unpack("<3L", nonce))
+    working = state.copy()
+    for _ in range(10):  # 20 rounds: 10 column+diagonal double-rounds
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    out = [(w + s) & _MASK32 for w, s in zip(working, state)]
+    return struct.pack("<16L", *out)
+
+
+def chacha20_xor(key: bytes, counter: int, nonce: bytes, data: bytes) -> bytes:
+    """Encrypt/decrypt *data* with the ChaCha20 keystream."""
+    out = bytearray(len(data))
+    for i in range(0, len(data), 64):
+        block = chacha20_block(key, counter + i // 64, nonce)
+        chunk = data[i : i + 64]
+        out[i : i + len(chunk)] = bytes(a ^ b for a, b in zip(chunk, block))
+    return bytes(out)
+
+
+# ---------------------------------------------------------------------------
+# Poly1305 (RFC 8439 §2.5)
+# ---------------------------------------------------------------------------
+
+_P1305 = (1 << 130) - 5
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Poly1305 one-time authenticator; *key* is the 32-byte (r, s) pair."""
+    if len(key) != 32:
+        raise KeyFormatError(f"Poly1305 key must be 32 bytes, got {len(key)}")
+    r = int.from_bytes(key[:16], "little")
+    r &= 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF  # clamp
+    s = int.from_bytes(key[16:], "little")
+    acc = 0
+    for i in range(0, len(message), 16):
+        chunk = message[i : i + 16]
+        n = int.from_bytes(chunk + b"\x01", "little")
+        acc = ((acc + n) * r) % _P1305
+    acc = (acc + s) & ((1 << 128) - 1)
+    return acc.to_bytes(16, "little")
+
+
+def _pad16(data: bytes) -> bytes:
+    if len(data) % 16 == 0:
+        return b""
+    return bytes(16 - len(data) % 16)
+
+
+class ChaCha20Poly1305:
+    """The RFC 8439 AEAD construction.
+
+    >>> aead = ChaCha20Poly1305(bytes(32))
+    >>> pt = aead.decrypt(bytes(12), aead.encrypt(bytes(12), b"hi"))
+    >>> pt
+    b'hi'
+    """
+
+    def __init__(self, key: bytes):
+        if not isinstance(key, (bytes, bytearray, memoryview)):
+            raise KeyFormatError(f"key must be bytes, got {type(key).__name__}")
+        key = bytes(key)
+        if len(key) != KEY_SIZE:
+            raise KeyFormatError(
+                f"ChaCha20-Poly1305 key must be 32 bytes, got {len(key)}"
+            )
+        self._key = key
+
+    def _tag(self, otk: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        mac_data = (
+            aad
+            + _pad16(aad)
+            + ciphertext
+            + _pad16(ciphertext)
+            + struct.pack("<QQ", len(aad), len(ciphertext))
+        )
+        return poly1305_mac(otk, mac_data)
+
+    def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Returns ciphertext || 16-byte tag (same layout as AES-GCM)."""
+        otk = chacha20_block(self._key, 0, nonce)[:32]
+        ciphertext = chacha20_xor(self._key, 1, nonce, plaintext)
+        return ciphertext + self._tag(otk, aad, ciphertext)
+
+    def decrypt(self, nonce: bytes, data: bytes, aad: bytes = b"") -> bytes:
+        if len(data) < TAG_SIZE:
+            raise AuthenticationError("ciphertext shorter than the Poly1305 tag")
+        ciphertext, tag = data[:-TAG_SIZE], data[-TAG_SIZE:]
+        otk = chacha20_block(self._key, 0, nonce)[:32]
+        expected = self._tag(otk, aad, ciphertext)
+        if not _ct_eq(expected, tag):
+            raise AuthenticationError(
+                "Poly1305 tag mismatch: message tampered or wrong key/nonce"
+            )
+        return chacha20_xor(self._key, 1, nonce, ciphertext)
+
+
+def _ct_eq(a: bytes, b: bytes) -> bool:
+    if len(a) != len(b):
+        return False
+    diff = 0
+    for x, y in zip(a, b):
+        diff |= x ^ y
+    return diff == 0

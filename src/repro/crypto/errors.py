@@ -1,0 +1,27 @@
+"""Exception hierarchy for the crypto substrate."""
+
+
+class CryptoError(Exception):
+    """Base class for all cryptographic failures."""
+
+
+class AuthenticationError(CryptoError):
+    """AEAD tag verification failed: the ciphertext was tampered with
+    (or decrypted under the wrong key/nonce).
+
+    This is the integrity guarantee the paper's §II says prior
+    encrypted-MPI systems lack.
+    """
+
+
+class NonceReuseError(CryptoError):
+    """A (key, nonce) pair was about to be used twice.
+
+    GCM catastrophically loses both privacy and integrity under nonce
+    reuse; the nonce disciplines in :mod:`repro.crypto.nonces` raise this
+    instead of silently encrypting.
+    """
+
+
+class KeyFormatError(CryptoError):
+    """A key had an unsupported length or type."""

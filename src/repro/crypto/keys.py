@@ -1,0 +1,95 @@
+"""Key material: generation, HKDF derivation, and the paper's hardcoded key.
+
+The paper did not implement key distribution ("the encryption key was
+hardcoded in the source code", §IV) — :data:`HARDCODED_KEY_256` plays
+that role here.  The future-work direction is implemented on top of this
+module: :mod:`repro.encmpi.keyexchange` runs a Diffie–Hellman exchange
+over the simulated MPI and feeds the shared secret through the HKDF
+implemented below (RFC 5869, built on HMAC-SHA256 from first
+principles using only ``hashlib``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+from repro.crypto.errors import KeyFormatError
+
+_HASH_BLOCK = 64  # SHA-256 block size
+_HASH_LEN = 32
+
+#: The stand-in for the paper's compiled-in key (256-bit).  Obviously
+#: not secret; exactly as (in)secure as the paper's own arrangement.
+HARDCODED_KEY_256 = bytes.fromhex(
+    "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
+)
+HARDCODED_KEY_128 = HARDCODED_KEY_256[:16]
+
+
+def generate_key(bits: int = 256) -> bytes:
+    """Gen from §III-A: a uniformly random key of 128/192/256 bits."""
+    if bits not in (128, 192, 256):
+        raise KeyFormatError(f"AES key size must be 128/192/256 bits, got {bits}")
+    return os.urandom(bits // 8)
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC-SHA256 per RFC 2104, written out rather than using ``hmac``.
+
+    Implemented from the definition (ipad/opad construction) so the
+    whole key-derivation path in this reproduction is auditable; the
+    test suite checks it against the standard library and RFC 4231
+    vectors.
+    """
+    if len(key) > _HASH_BLOCK:
+        key = hashlib.sha256(key).digest()
+    key = key.ljust(_HASH_BLOCK, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    inner = hashlib.sha256(ipad + message).digest()
+    return hashlib.sha256(opad + inner).digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract (RFC 5869 §2.2): PRK = HMAC(salt, IKM)."""
+    if not salt:
+        salt = bytes(_HASH_LEN)
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand (RFC 5869 §2.3)."""
+    if length <= 0:
+        raise ValueError(f"non-positive output length: {length}")
+    if length > 255 * _HASH_LEN:
+        raise ValueError("HKDF output too long")
+    okm = b""
+    t = b""
+    counter = 1
+    while len(okm) < length:
+        t = hmac_sha256(prk, t + info + bytes([counter]))
+        okm += t
+        counter += 1
+    return okm[:length]
+
+
+def hkdf(ikm: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """One-shot HKDF: derive *length* bytes from input key material."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def derive_session_key(shared_secret: bytes, context: str, bits: int = 256) -> bytes:
+    """Derive an AES-GCM session key from a DH shared secret.
+
+    *context* binds the key to its use (communicator id, epoch) so the
+    same secret can safely yield independent keys.
+    """
+    if bits not in (128, 192, 256):
+        raise KeyFormatError(f"AES key size must be 128/192/256 bits, got {bits}")
+    return hkdf(
+        shared_secret,
+        salt=b"repro-encmpi-v1",
+        info=context.encode(),
+        length=bits // 8,
+    )

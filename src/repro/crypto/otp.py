@@ -1,0 +1,87 @@
+"""The VAN-MPICH2-style "one-time" pad — with its fatal flaw intact.
+
+§II of the paper: VAN-MPICH2 [11] encrypts with one-time pads taken as
+*substrings of one big key K*.  When many large messages are sent, two
+pads eventually overlap, and XORing the two ciphertext segments cancels
+the key and yields the XOR of two plaintexts — recoverable for natural-
+language data (Mason et al., CCS 2006).
+
+This module reproduces that design so the attack demonstration in
+:mod:`repro.crypto.attacks` can exhibit the overlap concretely.  It also
+provides :class:`TrueOneTimePad`, the correct (but impractical) variant
+that never reuses key material, to contrast.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.crypto.errors import CryptoError
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class BigKeyPad:
+    """Flawed pad: each message's pad is a substring of a fixed big key.
+
+    Pad offsets are chosen (as a deterministic or random policy) within
+    ``key_len``; once total traffic exceeds the key length, overlaps are
+    guaranteed by pigeonhole.  ``encrypt`` returns (offset, ciphertext)
+    — the offset must be conveyed for decryption, just as VAN-MPICH2's
+    receivers must know which substring was used.
+    """
+
+    def __init__(self, big_key: bytes | None = None, key_len: int = 1 << 16):
+        if big_key is None:
+            big_key = os.urandom(key_len)
+        if len(big_key) == 0:
+            raise CryptoError("empty big key")
+        self.big_key = big_key
+        self._next_offset = 0
+
+    def encrypt(self, message: bytes) -> tuple[int, bytes]:
+        if len(message) > len(self.big_key):
+            raise CryptoError("message longer than the big key")
+        offset = self._next_offset
+        # Wrap around — this is the reuse bug, faithfully reproduced.
+        if offset + len(message) > len(self.big_key):
+            offset = 0
+        pad = self.big_key[offset : offset + len(message)]
+        self._next_offset = offset + len(message)
+        return offset, xor_bytes(message, pad)
+
+    def decrypt(self, offset: int, ciphertext: bytes) -> bytes:
+        if offset < 0 or offset + len(ciphertext) > len(self.big_key):
+            raise CryptoError("pad offset out of range")
+        pad = self.big_key[offset : offset + len(ciphertext)]
+        return xor_bytes(ciphertext, pad)
+
+
+class TrueOneTimePad:
+    """Correct OTP: fresh random pad per message, never reused.
+
+    Information-theoretically private — and useless for MPI, since the
+    pad must be pre-shared and is as long as all traffic combined, which
+    is exactly why the paper dismisses OTP-style designs.
+    """
+
+    def __init__(self) -> None:
+        self._pads: list[bytes] = []
+
+    def encrypt(self, message: bytes) -> tuple[int, bytes]:
+        pad = os.urandom(len(message))
+        self._pads.append(pad)
+        return len(self._pads) - 1, xor_bytes(message, pad)
+
+    def decrypt(self, pad_id: int, ciphertext: bytes) -> bytes:
+        try:
+            pad = self._pads[pad_id]
+        except IndexError:
+            raise CryptoError(f"unknown pad id {pad_id}") from None
+        if len(pad) != len(ciphertext):
+            raise CryptoError("ciphertext length does not match pad")
+        return xor_bytes(ciphertext, pad)

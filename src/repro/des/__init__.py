@@ -1,0 +1,30 @@
+"""Deterministic discrete-event simulation substrate.
+
+``repro.des`` provides the virtual-time machinery the MPI simulator is
+built on:
+
+- :mod:`repro.des.engine` — event heap + virtual clock,
+- :mod:`repro.des.process` — thread-backed simulated processes with
+  ``sleep`` and one-shot :class:`SimEvent` futures,
+- :mod:`repro.des.resources` — FIFO resources (cores, send engines),
+- :mod:`repro.des.flows` — max-min fair fluid bandwidth sharing used to
+  model NIC contention.
+"""
+
+from repro.des.engine import DeadlockError, Engine, SimTimeError
+from repro.des.process import ProcessFailed, SimEvent, SimProcess
+from repro.des.resources import Resource
+from repro.des.flows import Capacity, Flow, FlowNetwork
+
+__all__ = [
+    "Engine",
+    "DeadlockError",
+    "SimTimeError",
+    "SimProcess",
+    "SimEvent",
+    "ProcessFailed",
+    "Resource",
+    "FlowNetwork",
+    "Capacity",
+    "Flow",
+]

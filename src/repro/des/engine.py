@@ -1,0 +1,142 @@
+"""The discrete-event engine: a virtual clock and an ordered event heap.
+
+Events are callbacks scheduled at absolute virtual times.  Ties are
+broken by insertion order, which — together with the single-threaded
+handoff discipline in :mod:`repro.des.process` — makes every simulation
+fully deterministic: the same program and seed always produce the same
+event order and the same virtual timings.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class SimTimeError(ValueError):
+    """An event was scheduled in the past or with a negative delay."""
+
+
+class DeadlockError(RuntimeError):
+    """The event heap drained while simulated processes were still blocked.
+
+    For the MPI simulator this is the moral equivalent of an MPI hang
+    (e.g. a ``Recv`` with no matching ``Send``); the error message lists
+    the blocked processes to make the mismatch debuggable.
+    """
+
+
+class _Event:
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Engine.schedule`; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Engine:
+    """Virtual clock plus event heap.
+
+    The engine itself knows nothing about processes; process handoff is
+    layered on top in :mod:`repro.des.process`.  ``Engine.run`` drains
+    the heap, advancing ``now`` monotonically.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self._running = False
+        # Populated by the process layer so the engine can report
+        # blocked processes on deadlock.
+        self._blocked_reporter: Callable[[], list[str]] | None = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback(*args)* to run *delay* seconds from now."""
+        if delay < 0:
+            raise SimTimeError(f"negative delay: {delay}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(
+        self, time: float, callback: Callable[..., None], *args: Any
+    ) -> EventHandle:
+        """Schedule *callback(*args)* at absolute virtual *time*."""
+        if time < self._now:
+            raise SimTimeError(f"cannot schedule at {time} < now {self._now}")
+        event = _Event(time, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event heap; return the final virtual time.
+
+        With *until* set, stops (without error) once the next event would
+        be later than *until*, leaving ``now == until``.  Raises
+        :class:`DeadlockError` if the heap empties while processes remain
+        blocked.
+        """
+        if self._running:
+            raise RuntimeError("Engine.run is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    self._now = until
+                    return self._now
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        if self._blocked_reporter is not None:
+            blocked = self._blocked_reporter()
+            if blocked:
+                raise DeadlockError(
+                    "event heap drained with blocked processes (MPI hang?): "
+                    + ", ".join(blocked)
+                )
+        return self._now
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the heap (for tests)."""
+        return sum(1 for e in self._heap if not e.cancelled)

@@ -1,0 +1,255 @@
+"""Thread-backed simulated processes with strict one-at-a-time handoff.
+
+Each :class:`SimProcess` runs arbitrary Python code on its own OS
+thread, but *exactly one* thread (a process or the engine loop) is
+runnable at any instant: a process that blocks in virtual time hands
+control back to the engine and sleeps on a private semaphore until the
+engine wakes it.  That gives us straight-line user code (the simulated
+MPI ranks are plain functions calling ``comm.send(...)``) while keeping
+the simulation fully deterministic.
+
+The pattern trades context-switch cost for programmability; with the
+fleet sizes in this reproduction (≤ 128 ranks) it is comfortably fast.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.des.engine import Engine
+
+
+class ProcessFailed(RuntimeError):
+    """A simulated process raised; re-raised in the engine's thread."""
+
+
+class SimEvent:
+    """A one-shot future in virtual time.
+
+    Processes ``wait()`` on it; any code (process or engine callback)
+    may ``succeed(value)`` or ``fail(exc)`` it exactly once.  All
+    waiters are woken at the virtual time of completion, in FIFO order.
+    """
+
+    __slots__ = ("_scheduler", "_done", "_value", "_exc", "_waiters", "callbacks")
+
+    def __init__(self, scheduler: "Scheduler"):
+        self._scheduler = scheduler
+        self._done = False
+        self._value: Any = None
+        self._exc: BaseException | None = None
+        self._waiters: list[SimProcess] = []
+        #: callbacks invoked (in the engine context) upon completion
+        self.callbacks: list[Callable[["SimEvent"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError("SimEvent not completed")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> None:
+        self._complete(value, None)
+
+    def fail(self, exc: BaseException) -> None:
+        self._complete(None, exc)
+
+    def _complete(self, value: Any, exc: BaseException | None) -> None:
+        if self._done:
+            raise RuntimeError("SimEvent completed twice")
+        self._done = True
+        self._value = value
+        self._exc = exc
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._scheduler.wake_soon(proc)
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def wait(self) -> Any:
+        """Block the calling process until completion; return the value."""
+        proc = self._scheduler.current()
+        if not self._done:
+            self._waiters.append(proc)
+            proc._block(f"waiting on {self!r}")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class SimProcess:
+    """One simulated process (thread) managed by a :class:`Scheduler`."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        fn: Callable[..., Any],
+        args: tuple,
+        name: str,
+    ):
+        self._scheduler = scheduler
+        self.name = name
+        self._fn = fn
+        self._args = args
+        self._resume = threading.Semaphore(0)
+        self._blocked_on: str | None = "not started"
+        self.finished = SimEvent(scheduler)
+        self.result: Any = None
+        self._thread = threading.Thread(
+            target=self._bootstrap, name=f"sim:{name}", daemon=True
+        )
+
+    # -- process-side API ------------------------------------------------
+
+    def sleep(self, delay: float) -> None:
+        """Advance this process's virtual time by *delay* seconds."""
+        if delay < 0:
+            raise ValueError(f"negative sleep: {delay}")
+        if delay == 0:
+            # Still yield through the heap so same-time events interleave
+            # deterministically by schedule order.
+            pass
+        self._scheduler.engine.schedule(delay, self._scheduler.wake_now, self)
+        self._block(f"sleep({delay})")
+
+    # -- scheduler-side machinery -----------------------------------------
+
+    def _bootstrap(self) -> None:
+        self._resume.acquire()  # wait for the first wake
+        sched = self._scheduler
+        try:
+            self.result = self._fn(*self._args)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to engine
+            sched._on_process_exit(self, exc)
+        else:
+            sched._on_process_exit(self, None)
+
+    def _block(self, reason: str) -> None:
+        """Hand control back to the engine and sleep until woken."""
+        self._blocked_on = reason
+        self._scheduler._hand_to_engine()
+        self._resume.acquire()
+        self._blocked_on = None
+
+    def __repr__(self) -> str:
+        return f"<SimProcess {self.name}>"
+
+
+class Scheduler:
+    """Owns the engine and enforces the one-runnable-thread discipline."""
+
+    def __init__(self, engine: Engine | None = None):
+        self.engine = engine or Engine()
+        self.engine._blocked_reporter = self._blocked_processes
+        self._engine_sem = threading.Semaphore(0)
+        self._current: SimProcess | None = None
+        self._procs: list[SimProcess] = []
+        self._failure: BaseException | None = None
+
+    # -- public API --------------------------------------------------------
+
+    def spawn(
+        self, fn: Callable[..., Any], *args: Any, name: str | None = None
+    ) -> SimProcess:
+        """Create a process; it starts at the current virtual time."""
+        proc = SimProcess(self, fn, args, name or f"proc{len(self._procs)}")
+        self._procs.append(proc)
+        proc._thread.start()
+        self.engine.schedule(0.0, self.wake_now, proc)
+        return proc
+
+    def run(self, until: float | None = None) -> float:
+        """Run the simulation to completion (or *until*); return final time."""
+        try:
+            result = self.engine.run(until)
+        except Exception:
+            # A process failure often strands its peers in blocked state;
+            # the root cause is more useful than the secondary deadlock.
+            if self._failure is not None:
+                failure, self._failure = self._failure, None
+                raise ProcessFailed(
+                    f"simulated process raised: {failure!r}"
+                ) from failure
+            raise
+        if self._failure is not None:
+            failure, self._failure = self._failure, None
+            raise ProcessFailed(f"simulated process raised: {failure!r}") from failure
+        return result
+
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def current(self) -> SimProcess:
+        if self._current is None:
+            raise RuntimeError("not inside a simulated process")
+        return self._current
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    def timeout(self, delay: float) -> SimEvent:
+        """An event that succeeds *delay* seconds from now."""
+        ev = self.event()
+        self.engine.schedule(delay, ev.succeed, None)
+        return ev
+
+    def any_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        """An event that succeeds when the first of *events* completes."""
+        events = list(events)
+        combined = self.event()
+
+        def on_done(ev: SimEvent) -> None:
+            if not combined.done:
+                combined.succeed(ev)
+
+        for ev in events:
+            if ev.done:
+                on_done(ev)
+                break
+            ev.callbacks.append(on_done)
+        return combined
+
+    # -- handoff internals ---------------------------------------------------
+
+    def wake_now(self, proc: SimProcess) -> None:
+        """(Engine context) transfer control to *proc* until it blocks."""
+        if self._failure is not None:
+            return  # simulation is being torn down
+        self._current = proc
+        proc._resume.release()
+        self._engine_sem.acquire()
+        self._current = None
+
+    def wake_soon(self, proc: SimProcess) -> None:
+        """Schedule *proc* to be woken at the current virtual time."""
+        self.engine.schedule(0.0, self.wake_now, proc)
+
+    def _hand_to_engine(self) -> None:
+        self._engine_sem.release()
+
+    def _on_process_exit(self, proc: SimProcess, exc: BaseException | None) -> None:
+        if exc is not None:
+            self._failure = exc
+            # Complete 'finished' without raising into the engine thread;
+            # run() re-raises after the heap drains.
+            if not proc.finished.done:
+                proc.finished.succeed(None)
+        else:
+            proc.finished.succeed(proc.result)
+        self._engine_sem.release()
+
+    def _blocked_processes(self) -> list[str]:
+        return [
+            f"{p.name} ({p._blocked_on})"
+            for p in self._procs
+            if not p.finished.done and p._blocked_on is not None
+        ]

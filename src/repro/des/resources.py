@@ -1,0 +1,68 @@
+"""FIFO resources in virtual time.
+
+A :class:`Resource` models a pool of identical servers (CPU cores, a
+NIC's send engine, ...) that simulated processes acquire and release.
+Grant order is strictly FIFO at equal virtual times, preserving the
+engine's determinism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.des.process import Scheduler, SimEvent
+
+
+class Resource:
+    """A counted resource with FIFO queueing."""
+
+    def __init__(self, scheduler: Scheduler, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._scheduler = scheduler
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[SimEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def acquire(self) -> None:
+        """Block the calling process until a unit is available."""
+        if self._in_use < self.capacity and not self._queue:
+            self._in_use += 1
+            return
+        grant = self._scheduler.event()
+        self._queue.append(grant)
+        grant.wait()
+
+    def release(self) -> None:
+        """Return one unit; wakes the longest-waiting acquirer, if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            # Hand the unit directly to the next waiter: in_use stays the
+            # same, the waiter proceeds at the current virtual time.
+            grant = self._queue.popleft()
+            grant.succeed(None)
+        else:
+            self._in_use -= 1
+
+    def __enter__(self) -> "Resource":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def execute(self, seconds: float) -> None:
+        """Acquire a unit, hold it for *seconds* of virtual time, release."""
+        with self:
+            self._scheduler.current().sleep(seconds)

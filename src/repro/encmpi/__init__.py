@@ -1,0 +1,27 @@
+"""Encrypted MPI: the paper's contribution (§IV) plus its future work.
+
+:class:`EncryptedComm` wraps a simulated-MPI communicator with AES-GCM
+per-message encryption exactly as the paper's prototypes wrap
+MPICH/MVAPICH:
+
+- every message becomes ``nonce (12 B) || ciphertext || tag (16 B)`` —
+  ℓ+28 bytes on the wire (Algorithm 1);
+- the cryptographic library is user-selectable (OpenSSL, BoringSSL,
+  Libsodium, CryptoPP) — its cost model charges the sending/receiving
+  rank's core;
+- non-blocking receives decrypt *inside wait* (§IV: "our implementation
+  performs decryption inside MPI_Wait to ensure the non-blocking
+  property");
+- the encrypted collectives of §IV: Bcast, Allgather, Alltoall,
+  Alltoallv.
+
+Extensions the paper leaves as future work are also here:
+:mod:`repro.encmpi.keyexchange` (key distribution),
+:mod:`repro.encmpi.pipeline` (multi-core encryption, §V-C),
+:mod:`repro.encmpi.replay` (replay protection, §III footnote 1).
+"""
+
+from repro.encmpi.config import SecurityConfig
+from repro.encmpi.context import EncryptedComm
+
+__all__ = ["SecurityConfig", "EncryptedComm"]

@@ -1,0 +1,87 @@
+"""Session key rotation — operational hardening beyond the paper.
+
+NIST SP 800-38D bounds the number of invocations per AES-GCM key
+(2^32 for random 96-bit nonces to keep collision risk under 2^-32).
+Long-running MPI applications can exceed that; the paper's hardcoded
+key never rotates.  :class:`RotatingKeyManager` combines the
+key-exchange and encrypted-comm layers: it re-runs the DH group
+agreement whenever a traffic threshold is reached, deriving a fresh
+epoch key for every rank collectively.
+
+Rotation is a *collective* decision: all ranks must agree on when to
+rotate, so the trigger is deterministic (messages sent per epoch
+reaching ``messages_per_epoch`` on any rank is made collective by
+counting collectively-ordered operations only, or by an explicit
+``maybe_rotate`` call placed at an application sync point).
+"""
+
+from __future__ import annotations
+
+from repro.encmpi.config import SecurityConfig
+from repro.encmpi.context import EncryptedComm
+from repro.encmpi.keyexchange import establish_session_key
+from repro.simmpi.world import RankContext
+
+
+class RotatingKeyManager:
+    """Owns the current epoch's EncryptedComm and rotates keys on demand.
+
+    Usage::
+
+        mgr = RotatingKeyManager(ctx, messages_per_epoch=1_000_000)
+        mgr.comm.send(...)          # use like an EncryptedComm
+        mgr.maybe_rotate()          # at a collective sync point
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        config: SecurityConfig | None = None,
+        *,
+        messages_per_epoch: int = 1_000_000,
+    ):
+        if messages_per_epoch < 1:
+            raise ValueError(
+                f"messages_per_epoch must be >= 1, got {messages_per_epoch}"
+            )
+        self.ctx = ctx
+        self._base_config = config or SecurityConfig()
+        self.messages_per_epoch = messages_per_epoch
+        self.epoch = -1
+        self.comm: EncryptedComm = None  # type: ignore[assignment]
+        self.rotations = 0
+        self._rotate()
+
+    def _rotate(self) -> None:
+        self.epoch += 1
+        key = establish_session_key(
+            self.ctx, key_bits=self._base_config.key_bits, epoch=self.epoch
+        )
+        self.comm = EncryptedComm(self.ctx, self._base_config.with_key(key))
+        self.rotations += 1
+
+    def _epoch_traffic(self) -> int:
+        return self.comm.messages_sent + self.comm.messages_received
+
+    def maybe_rotate(self) -> bool:
+        """Collective: rotate if any rank crossed the epoch budget.
+
+        Every rank must call this at the same point.  Returns True if a
+        rotation happened.  The decision is agreed via a 1-byte
+        allreduce(max) so ranks never disagree about the epoch.
+        """
+        over = 1 if self._epoch_traffic() >= self.messages_per_epoch else 0
+        decision = self.ctx.comm.allreduce(
+            bytes([over]), lambda a, b: bytes([max(a[0], b[0])])
+        )
+        if decision[0]:
+            self._rotate()
+            return True
+        return False
+
+    @property
+    def key_fingerprint(self) -> str:
+        """Short identifier of the current epoch key (for logs/tests)."""
+        import hashlib
+
+        return hashlib.sha256(self.comm.config.key).hexdigest()[:16]

@@ -1,0 +1,11 @@
+"""The experiment harness: regenerate every table and figure of §V.
+
+``python -m repro.experiments list`` shows the registry;
+``python -m repro.experiments run <id> [...]`` regenerates artifacts
+(tables as aligned text with paper-reference rows, figures as aligned
+series plus log-scale sparklines).
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+
+__all__ = ["EXPERIMENTS", "get_experiment", "list_experiments"]

@@ -1,0 +1,4 @@
+from repro.experiments.cli import main
+import sys
+
+sys.exit(main())

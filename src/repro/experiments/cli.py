@@ -1,0 +1,191 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Commands:
+
+- ``list`` — show every registered experiment with its paper reference
+  and rough cost;
+- ``run <id>... | all | fast`` — regenerate the named artifacts and
+  print them (``fast`` selects the sub-10-second ones);
+- ``encdec-measured`` — run the *real* AES-GCM throughput sweep on this
+  host (OpenSSL backend via `cryptography` if present) for an honest
+  hardware datapoint next to Fig. 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import get_experiment, list_experiments
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'id':8s} {'paper':11s} {'cost':7s} title")
+    for exp in list_experiments():
+        print(f"{exp.id:8s} {exp.paper_ref:11s} {exp.cost:7s} {exp.title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    ids: list[str] = []
+    for token in args.ids:
+        if token == "all":
+            ids.extend(e.id for e in list_experiments())
+        elif token == "fast":
+            ids.extend(e.id for e in list_experiments() if e.cost == "fast")
+        else:
+            ids.append(token)
+    if not ids:
+        print("no experiments selected", file=sys.stderr)
+        return 2
+    out_dir = getattr(args, "output", None)
+    if out_dir:
+        import os
+
+        os.makedirs(out_dir, exist_ok=True)
+    failures = 0
+    for exp_id in dict.fromkeys(ids):  # dedupe, keep order
+        exp = get_experiment(exp_id)
+        t0 = time.time()
+        print(f"--- running {exp.id} ({exp.paper_ref}; cost: {exp.cost}) ---")
+        try:
+            artifact = exp.runner()
+        except Exception as exc:  # noqa: BLE001 - report and continue
+            print(f"{exp.id} FAILED: {exc!r}", file=sys.stderr)
+            failures += 1
+            continue
+        print(artifact.render())
+        print(f"[{exp.id} took {time.time() - t0:.1f}s]\n")
+        if out_dir:
+            _export(out_dir, exp, artifact)
+    return 1 if failures else 0
+
+
+def _export(out_dir: str, exp, artifact) -> None:
+    """Write <id>.txt (rendered) and <id>.json (structured) artifacts."""
+    import json
+    import os
+
+    with open(os.path.join(out_dir, f"{exp.id}.txt"), "w") as fh:
+        fh.write(artifact.render() + "\n")
+    body = artifact.body
+    data: dict = {
+        "experiment": exp.id,
+        "paper_ref": exp.paper_ref,
+        "title": artifact.title,
+        "headlines": {
+            k: {"measured": m, "paper": p}
+            for k, (m, p) in artifact.headlines.items()
+        },
+        "notes": artifact.notes,
+    }
+    if hasattr(body, "rows"):  # Table
+        data["kind"] = "table"
+        data["columns"] = body.col_headers
+        data["rows"] = [{"label": label, "cells": cells} for label, cells in body.rows]
+    else:  # Figure
+        data["kind"] = "figure"
+        data["x_label"] = body.x_label
+        data["y_label"] = body.y_label
+        data["series"] = [
+            {"label": s.label, "points": s.points} for s in body.series
+        ]
+    with open(os.path.join(out_dir, f"{exp.id}.json"), "w") as fh:
+        json.dump(data, fh, indent=2)
+
+
+def _cmd_nas(args) -> int:
+    from repro.util.stats import overhead_percent
+    from repro.workloads.nas import NAS_BENCHMARKS, run_nas
+
+    names = NAS_BENCHMARKS() if args.benchmark == "all" else [args.benchmark]
+    for name in names:
+        base = run_nas(name, network=args.network)
+        line = f"{name.upper():4s} {args.network}: baseline {base.total_seconds:7.2f}s"
+        if args.library:
+            enc = run_nas(name, network=args.network, library=args.library)
+            line += (
+                f"  {args.library} {enc.total_seconds:7.2f}s "
+                f"(+{overhead_percent(enc.total_seconds, base.total_seconds):.2f}%)"
+            )
+        line += f"  [comm {base.comm_seconds:.2f}s, compute {base.compute_seconds:.2f}s]"
+        print(line)
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.experiments.analysis import crossover_size, explain_pingpong
+    from repro.util.units import format_bytes, parse_size
+
+    size = parse_size(args.size)
+    breakdown = explain_pingpong(args.network, args.library, size)
+    print(breakdown.render())
+    cutoff = crossover_size(args.network, args.library)
+    label = format_bytes(cutoff) if cutoff else "none — even 1B exceeds it"
+    print(
+        f"\nlargest size with <=10% predicted overhead on {args.network} "
+        f"with {args.library}: {label}"
+    )
+    return 0
+
+
+def _cmd_encdec_measured(_args) -> int:
+    from repro.crypto.aead import available_backends
+    from repro.util.units import format_bytes, format_rate
+    from repro.workloads.encdec import measured_encdec_curve
+
+    print(f"backends available: {available_backends()}")
+    print("measuring real AES-GCM-256 enc+dec throughput on this host...")
+    results = measured_encdec_curve()
+    print(f"{'size':>8s} {'enc-dec throughput':>22s} {'runs':>5s}")
+    for size, stats in results.items():
+        print(
+            f"{format_bytes(size):>8s} {format_rate(stats.mean):>22s} {stats.n:>5d}"
+        )
+    print(
+        "\n(the paper's Fig. 2 metric: enc+dec of s bytes takes "
+        "s/throughput; compare shapes, not absolutes — hardware differs)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the paper's evaluation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+    run = sub.add_parser("run", help="run experiments by id ('all', 'fast')")
+    run.add_argument("ids", nargs="+")
+    run.add_argument(
+        "--output",
+        metavar="DIR",
+        help="also write <id>.txt and structured <id>.json into DIR",
+    )
+    run.set_defaults(func=_cmd_run)
+    nas = sub.add_parser("nas", help="run one NAS proxy at paper scale")
+    nas.add_argument("benchmark", help="bt|cg|ep|ft|is|lu|mg|sp|all")
+    nas.add_argument("--network", default="ethernet",
+                     choices=["ethernet", "infiniband"])
+    nas.add_argument("--library", default=None,
+                     help="boringssl|openssl|libsodium|cryptopp (default: baseline only)")
+    nas.set_defaults(func=_cmd_nas)
+    analyze = sub.add_parser(
+        "analyze", help="decompose a ping-pong overhead (the §V-A arithmetic)"
+    )
+    analyze.add_argument("size", help="message size, e.g. 2MB")
+    analyze.add_argument("--network", default="ethernet",
+                         choices=["ethernet", "infiniband"])
+    analyze.add_argument("--library", default="boringssl")
+    analyze.set_defaults(func=_cmd_analyze)
+    sub.add_parser(
+        "encdec-measured", help="measure real AES-GCM throughput locally"
+    ).set_defaults(func=_cmd_encdec_measured)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+"""Regenerators for the paper's Figures 2–15."""
+
+from __future__ import annotations
+
+from repro.experiments import paperdata
+from repro.experiments.report import Artifact
+from repro.models.cryptolib import get_profile
+from repro.util.stats import overhead_percent
+from repro.util.tables import Figure
+from repro.util.units import KiB, MiB
+from repro.workloads.encdec import modeled_encdec_curve
+from repro.workloads.multipair import multipair_aggregate_throughput
+from repro.workloads.osu_collectives import collective_latency
+from repro.workloads.pingpong import pingpong_throughput
+
+LIB_LABELS = {
+    "boringssl": "BoringSSL",
+    "libsodium": "Libsodium",
+    "cryptopp": "CryptoPP",
+}
+ENCDEC_SIZES = (64, 256, 1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB,
+                1 * MiB, 2 * MiB, 4 * MiB)
+LARGE_SIZES = (4 * KiB, 16 * KiB, 64 * KiB, 256 * KiB, 1 * MiB, 2 * MiB)
+PAIR_COUNTS = (1, 2, 4, 8)
+OVERHEAD_SIZES = (1, 1 * KiB, 16 * KiB, 256 * KiB, 4 * MiB)
+
+
+def _encdec_figure(exp_id: str, compiler: str) -> Artifact:
+    title = (
+        f"Encryption-decryption throughput of AES-GCM-256 "
+        f"({'gcc 4.8.5' if compiler == 'gcc' else 'MVAPICH2-2.3 compiler'})"
+    )
+    fig = Figure(title, "message size", "MB/s", log_y=True)
+    for lib in paperdata.LIBS:
+        curve = modeled_encdec_curve(lib, compiler, sizes=ENCDEC_SIZES)
+        fig.add_series(LIB_LABELS[lib], [(s, v / 1e6) for s, v in curve.items()])
+    art = Artifact(exp_id, title, fig)
+    for (lib, comp), anchors in paperdata.ENCDEC_TEXT_ANCHORS.items():
+        if comp != compiler:
+            continue
+        prof = get_profile(lib, compiler)
+        for size, paper_val in anchors.items():
+            measured = prof.encdec_throughput(size) / 1e6
+            art.headlines[f"{lib} @{size}B MB/s"] = (measured, paper_val)
+    return art
+
+
+def fig2() -> Artifact:
+    return _encdec_figure("fig2", "gcc")
+
+
+def fig9() -> Artifact:
+    return _encdec_figure("fig9", "mvapich")
+
+
+def _pingpong_figure(exp_id: str, network: str, paper_anchors: dict) -> Artifact:
+    title = (
+        f"Unidirectional ping-pong throughput (MB/s), 256-bit key, {network}, "
+        "medium and large messages"
+    )
+    fig = Figure(title, "message size", "MB/s", log_y=True)
+    rows = [("Unencrypted", None)] + [
+        (LIB_LABELS[lib], lib) for lib in paperdata.LIBS
+    ]
+    measured_at_2mb: dict[str, float] = {}
+    for label, lib in rows:
+        pts = []
+        for s in LARGE_SIZES:
+            v = pingpong_throughput(s, network=network, library=lib) / 1e6
+            pts.append((s, v))
+            if s == 2 * MiB:
+                measured_at_2mb[label] = v
+        fig.add_series(label, pts)
+    art = Artifact(exp_id, title, fig)
+    base = measured_at_2mb["Unencrypted"]
+    boring = measured_at_2mb["BoringSSL"]
+    paper_base = paper_anchors["baseline"][2 * MiB]
+    paper_boring = paper_anchors["boringssl"][2 * MiB]
+    art.headlines["BoringSSL overhead @2MB %"] = (
+        overhead_percent(base / boring, 1.0),
+        overhead_percent(paper_base / paper_boring, 1.0),
+    )
+    return art
+
+
+def fig3() -> Artifact:
+    return _pingpong_figure(
+        "fig3", "ethernet", paperdata.FIG3_PINGPONG_LARGE_ETH_ANCHORS
+    )
+
+
+def fig10() -> Artifact:
+    return _pingpong_figure(
+        "fig10", "infiniband", paperdata.FIG10_PINGPONG_LARGE_IB_ANCHORS
+    )
+
+
+def _multipair_figure(exp_id: str, network: str, size: int, label: str) -> Artifact:
+    title = f"OSU Multiple-Pair average throughput, {label} messages, {network}"
+    fig = Figure(title, "pairs", "MB/s", log_y=False)
+    rows = [("Unencrypted", None)] + [
+        (LIB_LABELS[lib], lib) for lib in paperdata.LIBS
+    ]
+    for row_label, lib in rows:
+        pts = [
+            (
+                pairs,
+                multipair_aggregate_throughput(
+                    size, pairs, network=network, library=lib
+                )
+                / 1e6,
+            )
+            for pairs in PAIR_COUNTS
+        ]
+        fig.add_series(row_label, pts)
+    return Artifact(exp_id, title, fig)
+
+
+def fig4() -> Artifact:
+    return _multipair_figure("fig4", "ethernet", 1, "1B")
+
+
+def fig5() -> Artifact:
+    return _multipair_figure("fig5", "ethernet", 16 * KiB, "16KB")
+
+
+def fig6() -> Artifact:
+    return _multipair_figure("fig6", "ethernet", 2 * MiB, "2MB")
+
+
+def fig11() -> Artifact:
+    return _multipair_figure("fig11", "infiniband", 1, "1B")
+
+
+def fig12() -> Artifact:
+    return _multipair_figure("fig12", "infiniband", 16 * KiB, "16KB")
+
+
+def fig13() -> Artifact:
+    return _multipair_figure("fig13", "infiniband", 2 * MiB, "2MB")
+
+
+def _overhead_figure(exp_id: str, op: str, network: str) -> Artifact:
+    title = (
+        f"Encryption overhead (256-bit key, log scale) of "
+        f"Encrypted_{op.capitalize()} on {network}"
+    )
+    fig = Figure(title, "message size", "overhead %", log_y=True)
+    base = {
+        s: collective_latency(op, s, network=network, library=None, iters=1)
+        for s in OVERHEAD_SIZES
+    }
+    for lib in paperdata.LIBS:
+        pts = []
+        for s in OVERHEAD_SIZES:
+            enc = collective_latency(op, s, network=network, library=lib, iters=1)
+            pts.append((s, max(overhead_percent(enc, base[s]), 0.01)))
+        fig.add_series(LIB_LABELS[lib], pts)
+    return Artifact(exp_id, title, fig)
+
+
+def fig7() -> Artifact:
+    return _overhead_figure("fig7", "bcast", "ethernet")
+
+
+def fig8() -> Artifact:
+    return _overhead_figure("fig8", "alltoall", "ethernet")
+
+
+def fig14() -> Artifact:
+    return _overhead_figure("fig14", "bcast", "infiniband")
+
+
+def fig15() -> Artifact:
+    return _overhead_figure("fig15", "alltoall", "infiniband")

@@ -1,0 +1,115 @@
+"""The paper's published numbers, transcribed for side-by-side reports.
+
+Every value below is copied from the paper (CLUSTER 2019).  These are
+*reference* data for comparison output and EXPERIMENTS.md — the
+simulator never reads them except where DESIGN.md §5 declares them
+calibration inputs (the unencrypted baselines and the enc-dec curves).
+"""
+
+from __future__ import annotations
+
+from repro.util.units import KiB, MiB
+
+LIBS = ("boringssl", "libsodium", "cryptopp")
+ROWS = ("baseline", "boringssl", "libsodium", "cryptopp")
+
+# Table I: average unidirectional ping-pong throughput (MB/s), small
+# messages, 256-bit keys, Ethernet.
+TABLE1_PINGPONG_SMALL_ETH = {
+    "baseline": {1: 0.050, 16: 0.83, 256: 7.01, 1 * KiB: 17.03},
+    "boringssl": {1: 0.045, 16: 0.78, 256: 6.62, 1 * KiB: 17.05},
+    "libsodium": {1: 0.046, 16: 0.79, 256: 6.62, 1 * KiB: 17.02},
+    "cryptopp": {1: 0.029, 16: 0.48, 256: 6.85, 1 * KiB: 17.02},
+}
+
+# Table V: same on InfiniBand.
+TABLE5_PINGPONG_SMALL_IB = {
+    "baseline": {1: 0.57, 16: 9.61, 256: 82.34, 1 * KiB: 272.84},
+    "boringssl": {1: 0.22, 16: 4.02, 256: 45.51, 1 * KiB: 142.23},
+    "libsodium": {1: 0.27, 16: 4.86, 256: 50.66, 1 * KiB: 133.06},
+    "cryptopp": {1: 0.05, 16: 0.98, 256: 17.27, 1 * KiB: 61.08},
+}
+
+# §V-A / §V-B inline anchors for the medium/large ping-pong figures.
+FIG3_PINGPONG_LARGE_ETH_ANCHORS = {
+    "baseline": {2 * MiB: 1038.0},
+    # 78.3% overhead at 2 MB => ~582 MB/s
+    "boringssl": {2 * MiB: 1038.0 / 1.783},
+}
+FIG10_PINGPONG_LARGE_IB_ANCHORS = {
+    "baseline": {2 * MiB: 3023.0},
+    # 215.2% overhead at 2 MB => ~959 MB/s
+    "boringssl": {2 * MiB: 3023.0 / 3.152},
+}
+
+# Table II: Encrypted_Bcast average timing (µs), Ethernet, 64 ranks/8 nodes.
+TABLE2_BCAST_ETH_US = {
+    "baseline": {1: 31.15, 16 * KiB: 231.75, 4 * MiB: 9_594.75},
+    "boringssl": {1: 37.15, 16 * KiB: 246.17, 4 * MiB: 13_892.74},
+    "libsodium": {1: 35.54, 16 * KiB: 264.37, 4 * MiB: 18_322.19},
+    "cryptopp": {1: 54.97, 16 * KiB: 278.65, 4 * MiB: 29_301.96},
+}
+
+# Table III: Encrypted_Alltoall average timing (µs), Ethernet.
+TABLE3_ALLTOALL_ETH_US = {
+    "baseline": {1: 159.13, 16 * KiB: 6_562.82, 4 * MiB: 1_966_299.47},
+    "boringssl": {1: 329.60, 16 * KiB: 7_691.08, 4 * MiB: 2_210_546.32},
+    "libsodium": {1: 452.76, 16 * KiB: 8_937.74, 4 * MiB: 2_535_104.93},
+    "cryptopp": {1: 1_221.98, 16 * KiB: 9_462.90, 4 * MiB: 3_297_402.93},
+}
+
+# Table VI: Encrypted_Bcast (µs), InfiniBand.
+TABLE6_BCAST_IB_US = {
+    "baseline": {1: 4.14, 16 * KiB: 28.58, 4 * MiB: 3_780.27},
+    "boringssl": {1: 7.64, 16 * KiB: 52.08, 4 * MiB: 8_204.73},
+    "libsodium": {1: 6.68, 16 * KiB: 75.81, 4 * MiB: 13_294.35},
+    "cryptopp": {1: 25.25, 16 * KiB: 85.43, 4 * MiB: 23_344.63},
+}
+
+# Table VII: Encrypted_Alltoall (µs), InfiniBand.
+TABLE7_ALLTOALL_IB_US = {
+    "baseline": {1: 21.48, 16 * KiB: 5_352.84, 4 * MiB: 657_145.51},
+    "boringssl": {1: 435.70, 16 * KiB: 6_789.17, 4 * MiB: 1_013_896.50},
+    "libsodium": {1: 736.29, 16 * KiB: 7_977.41, 4 * MiB: 1_305_389.60},
+    "cryptopp": {1: 1_187.75, 16 * KiB: 8_744.08, 4 * MiB: 2_049_864.38},
+}
+
+# Table IV: NAS class C runtimes (s), 64 ranks / 8 nodes, Ethernet.
+TABLE4_NAS_ETH_S = {
+    "baseline": {"cg": 7.01, "ft": 12.04, "mg": 2.55, "lu": 18.04,
+                 "bt": 22.83, "sp": 21.99, "is": 4.06},
+    "boringssl": {"cg": 8.55, "ft": 12.81, "mg": 3.01, "lu": 19.05,
+                  "bt": 27.40, "sp": 24.46, "is": 4.52},
+    "libsodium": {"cg": 9.62, "ft": 13.67, "mg": 3.09, "lu": 19.48,
+                  "bt": 28.70, "sp": 26.30, "is": 4.71},
+    "cryptopp": {"cg": 11.67, "ft": 15.53, "mg": 3.33, "lu": 23.13,
+                 "bt": 29.52, "sp": 27.37, "is": 4.83},
+}
+
+# Table VIII: NAS class C runtimes (s), InfiniBand.
+TABLE8_NAS_IB_S = {
+    "baseline": {"cg": 6.55, "ft": 10.00, "mg": 3.59, "lu": 18.36,
+                 "bt": 24.56, "sp": 24.20, "is": 3.04},
+    "boringssl": {"cg": 8.36, "ft": 10.77, "mg": 4.20, "lu": 19.73,
+                  "bt": 33.35, "sp": 26.87, "is": 3.20},
+    "libsodium": {"cg": 9.87, "ft": 11.52, "mg": 4.28, "lu": 20.04,
+                  "bt": 34.62, "sp": 28.55, "is": 3.33},
+    "cryptopp": {"cg": 10.47, "ft": 11.89, "mg": 4.41, "lu": 22.82,
+                 "bt": 34.96, "sp": 28.97, "is": 3.35},
+}
+
+#: §V headline NAS overheads (% of total time over all benchmarks).
+NAS_OVERHEAD_HEADLINE = {
+    "ethernet": {"boringssl": 12.75, "libsodium": 19.25, "cryptopp": 30.33},
+    "infiniband": {"boringssl": 17.93, "libsodium": 24.27, "cryptopp": 29.41},
+}
+
+#: Enc-dec throughput anchors quoted in the text (MB/s; the Fig. 2/9
+#: metric).  Full digitized curves live in repro.models.calibration.
+ENCDEC_TEXT_ANCHORS = {
+    ("boringssl", "gcc"): {16 * KiB: 1332.0, 2 * MiB: 1381.0},
+    ("libsodium", "gcc"): {256: 409.67, 2 * MiB: 583.0},
+    ("cryptopp", "gcc"): {16 * KiB: 568.0, 2 * MiB: 273.0},
+}
+
+NAS_NAMES = ("cg", "ft", "mg", "lu", "bt", "sp", "is")

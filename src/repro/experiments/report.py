@@ -1,0 +1,34 @@
+"""Artifact wrappers the experiment runners return."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.util.tables import Figure, Table
+
+
+@dataclass
+class Artifact:
+    """One regenerated paper artifact plus comparison metadata."""
+
+    experiment_id: str
+    title: str
+    body: Union[Table, Figure]
+    #: free-form fidelity notes (shown after the table/figure)
+    notes: list[str] = field(default_factory=list)
+    #: map of "headline" scalars, e.g. {"overhead_2MB_%": (measured, paper)}
+    headlines: dict[str, tuple[float, float | None]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ===", ""]
+        lines.append(self.body.render())
+        if self.headlines:
+            lines.append("")
+            lines.append("headlines (measured vs paper):")
+            for name, (measured, paper) in self.headlines.items():
+                ref = f"{paper:.2f}" if paper is not None else "n/a"
+                lines.append(f"  {name}: {measured:.2f} (paper {ref})")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Regenerators for the paper's Tables I–VIII."""
+
+from __future__ import annotations
+
+from repro.experiments import paperdata
+from repro.experiments.report import Artifact
+from repro.util.stats import overhead_percent, total_time_overhead_percent
+from repro.util.tables import Table
+from repro.util.units import KiB, MiB, format_bytes
+from repro.workloads.nas import run_nas
+from repro.workloads.osu_collectives import collective_latency
+from repro.workloads.pingpong import pingpong_throughput
+
+SMALL_SIZES = (1, 16, 256, 1 * KiB)
+COLL_SIZES = (1, 16 * KiB, 4 * MiB)
+ROW_LABELS = {
+    "baseline": "Unencrypted",
+    "boringssl": "BoringSSL",
+    "libsodium": "Libsodium",
+    "cryptopp": "CryptoPP",
+}
+
+
+def _pingpong_table(exp_id: str, network: str, paper: dict) -> Artifact:
+    title = (
+        f"Average unidirectional ping-pong throughput (MB/s), small messages, "
+        f"256-bit key, {network}"
+    )
+    table = Table(title, [format_bytes(s) for s in SMALL_SIZES])
+    for row in paperdata.ROWS:
+        lib = None if row == "baseline" else row
+        measured = [
+            pingpong_throughput(s, network=network, library=lib) / 1e6
+            for s in SMALL_SIZES
+        ]
+        table.add_row(ROW_LABELS[row], measured)
+        table.add_row(
+            f"  (paper) {ROW_LABELS[row]}", [paper[row][s] for s in SMALL_SIZES]
+        )
+    return Artifact(exp_id, title, table)
+
+
+def table1() -> Artifact:
+    return _pingpong_table("table1", "ethernet", paperdata.TABLE1_PINGPONG_SMALL_ETH)
+
+
+def table5() -> Artifact:
+    return _pingpong_table("table5", "infiniband", paperdata.TABLE5_PINGPONG_SMALL_IB)
+
+
+def _collective_table(
+    exp_id: str, op: str, network: str, paper: dict
+) -> Artifact:
+    title = (
+        f"Average timing of Encrypted_{op.capitalize()} (us), 256-bit key, "
+        f"{network}, 64 ranks / 8 nodes"
+    )
+    table = Table(title, [format_bytes(s) for s in COLL_SIZES])
+    iters = 1  # deterministic simulator: one timed iteration suffices
+    for row in paperdata.ROWS:
+        lib = None if row == "baseline" else row
+        measured = [
+            collective_latency(op, s, network=network, library=lib, iters=iters)
+            * 1e6
+            for s in COLL_SIZES
+        ]
+        table.add_row(ROW_LABELS[row], measured)
+        table.add_row(
+            f"  (paper) {ROW_LABELS[row]}", [paper[row][s] for s in COLL_SIZES]
+        )
+    return Artifact(exp_id, title, table)
+
+
+def table2() -> Artifact:
+    return _collective_table("table2", "bcast", "ethernet", paperdata.TABLE2_BCAST_ETH_US)
+
+
+def table3() -> Artifact:
+    return _collective_table(
+        "table3", "alltoall", "ethernet", paperdata.TABLE3_ALLTOALL_ETH_US
+    )
+
+
+def table6() -> Artifact:
+    return _collective_table("table6", "bcast", "infiniband", paperdata.TABLE6_BCAST_IB_US)
+
+
+def table7() -> Artifact:
+    return _collective_table(
+        "table7", "alltoall", "infiniband", paperdata.TABLE7_ALLTOALL_IB_US
+    )
+
+
+def _nas_table(exp_id: str, network: str, paper: dict) -> Artifact:
+    title = (
+        f"Average running time (s) of NAS parallel benchmarks, class C, "
+        f"64 ranks / 8 nodes, {network}"
+    )
+    names = paperdata.NAS_NAMES
+    table = Table(title, [n.upper() for n in names] + ["total", "ovh%"])
+    totals: dict[str, list[float]] = {}
+    for row in paperdata.ROWS:
+        lib = None if row == "baseline" else row
+        measured = [
+            run_nas(n, network=network, library=lib).total_seconds for n in names
+        ]
+        totals[row] = measured
+        total = sum(measured)
+        ovh = (
+            0.0
+            if row == "baseline"
+            else total_time_overhead_percent(measured, totals["baseline"])
+        )
+        table.add_row(ROW_LABELS[row], measured + [total, ovh])
+        paper_vals = [paper[row][n] for n in names]
+        paper_total = sum(paper_vals)
+        paper_ovh = (
+            0.0
+            if row == "baseline"
+            else total_time_overhead_percent(
+                paper_vals, [paper["baseline"][n] for n in names]
+            )
+        )
+        table.add_row(
+            f"  (paper) {ROW_LABELS[row]}", paper_vals + [paper_total, paper_ovh]
+        )
+    headlines = {}
+    for lib in paperdata.LIBS:
+        measured_ovh = total_time_overhead_percent(totals[lib], totals["baseline"])
+        headlines[f"{lib} total overhead %"] = (
+            measured_ovh,
+            paperdata.NAS_OVERHEAD_HEADLINE[network][lib],
+        )
+    art = Artifact(exp_id, title, table, headlines=headlines)
+    art.notes.append(
+        "overheads computed from totals, not averaged ratios (paper footnote 2)"
+    )
+    return art
+
+
+def table4() -> Artifact:
+    return _nas_table("table4", "ethernet", paperdata.TABLE4_NAS_ETH_S)
+
+
+def table8() -> Artifact:
+    return _nas_table("table8", "infiniband", paperdata.TABLE8_NAS_IB_S)

@@ -1,0 +1,215 @@
+"""Digitized calibration data, with provenance for every anchor.
+
+All numbers here come from the paper (tables, inline text, or figure
+shapes).  Three kinds of data live here:
+
+1. **Enc-dec throughput curves** per (library, compiler): the paper's
+   Fig. 2 (gcc 4.8.5, used for the Ethernet/MPICH prototype) and Fig. 9
+   (MVAPICH2-2.3 compiler, used on InfiniBand).  The paper defines this
+   metric so that encrypting *and then* decrypting ``s`` bytes takes
+   ``s / throughput`` (§V-A: "the reported performance here is a half of
+   the encryption throughput").  Exact anchors quoted in the text:
+
+   - BoringSSL: 1332 MB/s @16 KB, 1381 MB/s @2 MB (§V-A); its 4 MB
+     value is implied by the Bcast analysis (≈4298 µs for a 4 MB
+     enc+dec ⇒ ≈976 MB/s).
+   - Libsodium: 409.67 MB/s @256 B, 583 MB/s @2 MB; 4 MB implied by
+     Bcast overhead 90.96 % ⇒ ≈8727 µs ⇒ ≈480 MB/s.
+   - CryptoPP (gcc): 568 MB/s @16 KB, 273 MB/s @2 MB; 4 MB implied by
+     the Alltoall analysis (1,331,103 µs over 63 peers ⇒ ≈198 MB/s).
+   - CryptoPP (MVAPICH compiler): "dramatically improved" above 64 KB
+     (§V-B), approaching Libsodium at ~1 MB, but the IB collective
+     tables imply it falls back to ≈210 MB/s at 4 MB (Table VI/VII
+     deltas are nearly identical to Ethernet's).  We encode exactly
+     that: improvement at 64 KB–1 MB, cache-limited at ≥2 MB, and flag
+     the internal tension in EXPERIMENTS.md.
+
+2. **Per-operation framing overhead** (seconds per encrypt or decrypt
+   call in the MPI layer: nonce sampling, ciphertext buffer handling).
+   Derived from the small-message rows of Tables I and V: e.g. CryptoPP
+   adds ≈14 µs to a 1 B Ethernet ping-pong one-way (0.029 vs
+   0.050 MB/s) while BoringSSL adds ≈2 µs.
+
+3. **Network baselines**: one-way ping-pong throughput (Tables I and V
+   small-message rows; 2 MB anchors 1038 MB/s Ethernet / 3023 MB/s IB
+   from §V-A/§V-B), pipelined single-stream bandwidth (OSU multi-pair
+   figures), NIC capacities, latencies, and per-message CPU overheads.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import KiB, MiB
+
+MB = 1e6  # the paper's decimal MB/s
+
+# --------------------------------------------------------------------------
+# 1. Enc-dec throughput curves (bytes -> MB/s, paper's metric)
+# --------------------------------------------------------------------------
+
+#: Size grid used by the encryption-decryption benchmark (Fig. 2 / Fig. 9).
+ENCDEC_SIZES = [
+    1, 16, 64, 256, 1 * KiB, 4 * KiB, 16 * KiB, 64 * KiB,
+    256 * KiB, 1 * MiB, 2 * MiB, 4 * MiB,
+]
+
+# gcc 4.8.5 curves (Fig. 2; exact anchors per the docstring).
+ENCDEC_GCC = {
+    "boringssl": {
+        1: 2.2, 16: 35.0, 64: 130.0, 256: 450.0, 1 * KiB: 900.0,
+        4 * KiB: 1200.0, 16 * KiB: 1332.0, 64 * KiB: 1400.0,
+        256 * KiB: 1410.0, 1 * MiB: 1400.0, 2 * MiB: 1381.0, 4 * MiB: 976.0,
+    },
+    "libsodium": {
+        1: 1.8, 16: 28.0, 64: 110.0, 256: 409.67, 1 * KiB: 520.0,
+        4 * KiB: 560.0, 16 * KiB: 575.0, 64 * KiB: 590.0,
+        256 * KiB: 595.0, 1 * MiB: 590.0, 2 * MiB: 583.0, 4 * MiB: 480.0,
+    },
+    "cryptopp": {
+        1: 0.10, 16: 1.7, 64: 6.5, 256: 25.0, 1 * KiB: 90.0,
+        4 * KiB: 280.0, 16 * KiB: 568.0, 64 * KiB: 560.0,
+        256 * KiB: 450.0, 1 * MiB: 330.0, 2 * MiB: 273.0, 4 * MiB: 198.0,
+    },
+}
+# OpenSSL tracks BoringSSL ("BoringSSL and OpenSSL delivered very
+# similar performance", §V); encoded as identical.
+ENCDEC_GCC["openssl"] = dict(ENCDEC_GCC["boringssl"])
+
+# MVAPICH2-2.3 compiler curves (Fig. 9): only CryptoPP changes
+# materially (§V-B).
+ENCDEC_MVAPICH = {
+    "boringssl": dict(ENCDEC_GCC["boringssl"]),
+    "openssl": dict(ENCDEC_GCC["boringssl"]),
+    "libsodium": dict(ENCDEC_GCC["libsodium"]),
+    "cryptopp": {
+        1: 0.10, 16: 1.7, 64: 6.5, 256: 25.0, 1 * KiB: 90.0,
+        4 * KiB: 280.0, 16 * KiB: 568.0, 64 * KiB: 575.0,
+        256 * KiB: 560.0, 1 * MiB: 480.0, 2 * MiB: 350.0, 4 * MiB: 210.0,
+    },
+}
+
+#: The Fig. 2/9 benchmark re-encrypts ONE buffer 500,000 times — a fully
+#: cache-hot measurement.  Application payloads (NAS) stream through
+#: memory cache-cold, roughly halving effective AES throughput on this
+#: class of Xeon (DDR4 streaming vs L2-resident AES-NI).  The NAS
+#: proxies apply this factor to the enc-dec curves; the
+#: micro-benchmarks (ping-pong, OSU), which also reuse one buffer, do
+#: not.  Fitted against the Table IV deltas.
+NAS_COLD_CACHE_FACTOR = 2.0
+
+#: Stencil codes (BT, SP, LU, MG) communicate *strided* boundary faces:
+#: the encrypted MPI layer must pack them through non-contiguous reads
+#: before AES sees a flat buffer, and the face data is evicted between
+#: uses.  Effective enc+dec throughput for such payloads lands well
+#: below the Fig. 2 hot-cache curves; fitted against the Table IV
+#: deltas of the four stencil benchmarks (implied factors 2.8-5.4,
+#: compromise 4.0).  Contiguous-buffer codes (CG, FT, IS) use
+#: NAS_COLD_CACHE_FACTOR instead.
+NAS_STRIDED_PACK_FACTOR = 4.0
+
+#: AES-GCM-128 is faster than -256 (fewer rounds: 10 vs 14).  The paper
+#: reports that both key lengths "yielded the same trends" and only
+#: publishes 256-bit numbers; the standard throughput ratio for
+#: AES-NI GCM is ~1.25-1.4x.  Used by the key-length ablation.
+KEY128_SPEEDUP = 1.30
+
+#: Per-operation framing overhead in the encrypted MPI layer (seconds
+#: per encrypt or per decrypt call), from Table I / Table V small rows.
+#: The enc-dec curves above are *measured benchmark* throughput, so they
+#: already include the libraries' own per-call costs; framing covers only
+#: the extra per-message work in the MPI layer (RAND_bytes nonce
+#: sampling, ciphertext buffer management).  Values fitted to the
+#: small-message rows of Tables I and V (e.g. CryptoPP adds ~14.5 us to
+#: a 1 B Ethernet one-way, of which ~10 us is its own 1 B enc+dec).
+FRAMING_OVERHEAD = {
+    "boringssl": 1.0e-6,
+    "openssl": 1.0e-6,
+    "libsodium": 0.8e-6,
+    "cryptopp": 2.2e-6,
+}
+
+# --------------------------------------------------------------------------
+# 2. Network calibration
+# --------------------------------------------------------------------------
+
+#: One-way ping-pong *throughput* (MB/s) for the unencrypted baseline.
+#: Small-message anchors are Tables I and V; 2 MB anchors are the inline
+#: values (1038 / 3023 MB/s); intermediate points follow Figs. 3 and 10.
+PINGPONG_BASELINE = {
+    "ethernet": {
+        1: 0.050, 16: 0.83, 64: 3.1, 128: 5.5, 256: 7.01, 1 * KiB: 17.03,
+        4 * KiB: 55.0, 16 * KiB: 165.0, 64 * KiB: 430.0,
+        256 * KiB: 760.0, 1 * MiB: 965.0, 2 * MiB: 1038.0, 4 * MiB: 1075.0,
+    },
+    "infiniband": {
+        1: 0.57, 16: 9.61, 64: 33.7, 128: 55.6, 256: 82.34, 1 * KiB: 272.84,
+        4 * KiB: 800.0, 16 * KiB: 1500.0, 64 * KiB: 2250.0,
+        256 * KiB: 2750.0, 1 * MiB: 2950.0, 2 * MiB: 3023.0, 4 * MiB: 3080.0,
+    },
+}
+
+#: Pipelined single-stream bandwidth (MB/s): what one sender/receiver
+#: pair achieves with the OSU multi-pair 64-message window.  Calibrated
+#: so single-pair multi-pair results sit below NIC capacity (Figs. 5, 6,
+#: 12, 13: the baseline saturates at ~2 pairs for medium/large sizes).
+STREAM_BANDWIDTH = {
+    "ethernet": {
+        1: 5.0, 256: 95.0, 1 * KiB: 300.0, 4 * KiB: 600.0,
+        16 * KiB: 850.0, 64 * KiB: 1000.0, 1 * MiB: 1085.0,
+        2 * MiB: 1090.0, 4 * MiB: 1100.0,
+    },
+    "infiniband": {
+        1: 5.0, 256: 300.0, 1 * KiB: 800.0, 4 * KiB: 1500.0,
+        16 * KiB: 2150.0, 64 * KiB: 2700.0, 256 * KiB: 2950.0,
+        1 * MiB: 3000.0, 2 * MiB: 3050.0, 4 * MiB: 3100.0,
+    },
+}
+
+#: Fabric constants.  ``latency`` is the one-way wire+stack latency,
+#: ``msg_overhead`` the per-message CPU cost at each end (MPI matching,
+#: descriptor handling), ``copy_bw`` the memcpy bandwidth for eager
+#: buffering, ``nic_capacity`` the per-direction NIC limit shared by all
+#: concurrent flows of a node, and ``eager_threshold`` the switch to the
+#: rendezvous protocol.
+NETWORK_CONSTANTS = {
+    "ethernet": dict(
+        latency=13.0e-6,
+        msg_overhead=2.5e-6,
+        copy_bw=5.0e9,
+        nic_capacity=1120.0 * MB,
+        eager_threshold=64 * KiB,
+        # Per-message NIC engine occupancy and the contention growth
+        # factor past `contention_free_senders` concurrent senders.
+        nic_msg_time=0.30e-6,
+        contention_factor=0.0,
+        contention_free_senders=8,
+    ),
+    "infiniband": dict(
+        latency=0.70e-6,
+        msg_overhead=0.25e-6,
+        copy_bw=10.0e9,
+        nic_capacity=3200.0 * MB,
+        eager_threshold=8 * KiB,
+        nic_msg_time=0.05e-6,
+        # Fig. 11: IB small-message aggregate *drops* from 4 to 8 pairs
+        # ("probably due to network contention", §V-B).
+        contention_factor=0.35,
+        contention_free_senders=4,
+    ),
+}
+
+#: Intra-node (shared-memory) transport, same on both clusters.
+SHM_CONSTANTS = dict(
+    latency=0.30e-6,
+    msg_overhead=0.20e-6,
+    copy_bw=5.0e9,
+    bandwidth={1: 1.0 * MB, 4 * KiB: 2500.0 * MB, 64 * KiB: 4500.0 * MB,
+               4 * MiB: 5200.0 * MB},
+)
+
+# --------------------------------------------------------------------------
+# 3. Testbed shape (§V "System setup")
+# --------------------------------------------------------------------------
+
+PAPER_NODES = 8
+PAPER_CORES_PER_NODE = 8
+PAPER_CPU_BASE_GHZ = 2.10

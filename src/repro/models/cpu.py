@@ -1,0 +1,74 @@
+"""Cluster shape: nodes, cores, and rank placement.
+
+§V "System setup": 8 nodes, each an 8-core Intel Xeon E5-2620 v4
+(2.10 GHz base) with 64 GB DDR4 — so the 64-rank/8-node NAS and
+collective runs pin exactly one rank per core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of the simulated cluster."""
+
+    nodes: int
+    cores_per_node: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.cores_per_node < 1:
+            raise ValueError(f"invalid cluster shape {self}")
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.cores_per_node
+
+    def validate_ranks(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError(f"need at least one rank, got {nranks}")
+        if nranks > self.total_cores:
+            raise ValueError(
+                f"{nranks} ranks exceed {self.total_cores} cores "
+                f"({self.nodes} nodes x {self.cores_per_node}); the paper "
+                "never oversubscribes cores"
+            )
+
+    def node_of(self, rank: int, nranks: int, placement: str = "block") -> int:
+        """Map a rank to its node.
+
+        ``block`` fills nodes with consecutive ranks (MPICH/MVAPICH
+        default for the paper's host files: ranks 0-7 on node 0, ...);
+        ``roundrobin`` deals ranks out cyclically.  The paper's
+        scalability settings (e.g. 16 rank/8 node) spread ranks evenly,
+        which block placement with equal shares reproduces.
+        """
+        self.validate_ranks(nranks)
+        if not 0 <= rank < nranks:
+            raise ValueError(f"rank {rank} out of range for {nranks} ranks")
+        if placement == "block":
+            per_node, extra = divmod(nranks, self.nodes)
+            if per_node == 0:
+                # Fewer ranks than nodes: one rank per node.
+                return rank
+            # First `extra` nodes hold one extra rank.
+            boundary = (per_node + 1) * extra
+            if rank < boundary:
+                return rank // (per_node + 1)
+            return extra + (rank - boundary) // per_node
+        if placement == "roundrobin":
+            return rank % self.nodes
+        raise ValueError(f"unknown placement {placement!r}")
+
+    def ranks_on_node(self, node: int, nranks: int, placement: str = "block") -> list[int]:
+        return [
+            r for r in range(nranks) if self.node_of(r, nranks, placement) == node
+        ]
+
+
+#: The paper's testbed.
+PAPER_CLUSTER = ClusterSpec(nodes=8, cores_per_node=8)
+
+#: Two-node slice used by ping-pong and the OSU multi-pair test.
+TWO_NODE_CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)

@@ -1,0 +1,117 @@
+"""Cryptographic library performance profiles.
+
+A :class:`CryptoLibraryProfile` answers one question for the simulator:
+*how long does this library take to encrypt (or decrypt) an s-byte
+message on one Xeon E5-2620 v4 core?*  The answer combines
+
+- the paper's enc-dec throughput curve for (library, compiler) — the
+  paper's metric is defined so enc **plus** dec of ``s`` bytes takes
+  ``s / throughput(s)``, hence a single operation takes half that — and
+- a per-operation framing overhead (nonce sampling, buffer handling)
+  calibrated from the small-message ping-pong tables.
+
+Profiles exist for the four libraries the paper studies; "baseline"
+(no encryption) is represented by the absence of a profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models import calibration
+from repro.models.interp import LogLogCurve
+
+#: Library identifiers accepted everywhere in the package.
+PROFILED_LIBRARIES = ("openssl", "boringssl", "libsodium", "cryptopp")
+
+#: Compiler environments from the paper: gcc 4.8.5 built the Ethernet
+#: (MPICH) prototype's crypto, the MVAPICH2-2.3 wrapper built the
+#: InfiniBand one (§V-B, Figs. 2 vs 9).
+COMPILERS = ("gcc", "mvapich")
+
+
+@dataclass(frozen=True)
+class CryptoLibraryProfile:
+    """Single-thread AES-GCM cost model for one library + compiler."""
+
+    library: str
+    compiler: str
+    key_bits: int
+    encdec_curve: LogLogCurve
+    framing_overhead: float  # seconds per encrypt or decrypt call
+
+    def encdec_throughput(self, size: int) -> float:
+        """The paper's Fig. 2/9 metric in bytes/s: enc+dec of *size*
+        bytes takes ``size / encdec_throughput(size)``."""
+        if size < 1:
+            size = 1
+        scale = calibration.KEY128_SPEEDUP if self.key_bits == 128 else 1.0
+        return self.encdec_curve(size) * 1e6 * scale
+
+    def encrypt_time(self, size: int, slowdown: float = 1.0) -> float:
+        """Seconds one core spends encrypting an *size*-byte message
+        (including nonce sampling and buffer framing).
+
+        *slowdown* scales the bulk (per-byte) part only — used for
+        cache-cold application payloads (NAS_COLD_CACHE_FACTOR); the
+        per-call framing cost is size-independent and unaffected.
+        """
+        return self._op_time(size, slowdown)
+
+    def decrypt_time(self, size: int, slowdown: float = 1.0) -> float:
+        """Seconds one core spends decrypting (incl. tag verification).
+
+        For AES-GCM "the encryption and decryption speed is roughly the
+        same" (§V-A), so the model charges both identically.
+        """
+        return self._op_time(size, slowdown)
+
+    def _op_time(self, size: int, slowdown: float = 1.0) -> float:
+        if size < 0:
+            raise ValueError(f"negative message size: {size}")
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
+        bulk = 0.0
+        if size > 0:
+            bulk = size / (2.0 * self.encdec_throughput(size)) * slowdown
+        return bulk + self.framing_overhead
+
+    def encdec_time(self, size: int, slowdown: float = 1.0) -> float:
+        """Seconds for encrypt followed by decrypt (the benchmark loop)."""
+        return self.encrypt_time(size, slowdown) + self.decrypt_time(size, slowdown)
+
+
+def get_profile(
+    library: str, compiler: str = "gcc", key_bits: int = 256
+) -> CryptoLibraryProfile:
+    """Look up the calibrated profile for *library* under *compiler*."""
+    lib = library.lower()
+    if lib not in PROFILED_LIBRARIES:
+        raise ValueError(
+            f"unknown cryptographic library {library!r}; "
+            f"profiled: {PROFILED_LIBRARIES}"
+        )
+    if compiler not in COMPILERS:
+        raise ValueError(f"unknown compiler {compiler!r}; known: {COMPILERS}")
+    if key_bits not in (128, 256):
+        raise ValueError(f"profiles exist for 128/256-bit keys, got {key_bits}")
+    if lib == "libsodium" and key_bits != 256:
+        # §III-B: Libsodium "only supports AES-GCM with 256-bit keys".
+        raise ValueError("Libsodium only supports AES-GCM-256")
+    table = (
+        calibration.ENCDEC_GCC if compiler == "gcc" else calibration.ENCDEC_MVAPICH
+    )[lib]
+    return CryptoLibraryProfile(
+        library=lib,
+        compiler=compiler,
+        key_bits=key_bits,
+        encdec_curve=LogLogCurve(table),
+        framing_overhead=calibration.FRAMING_OVERHEAD[lib],
+    )
+
+
+def profile_for_network(library: str, network_name: str, key_bits: int = 256):
+    """The compiler follows the fabric in the paper's setup: gcc for the
+    Ethernet/MPICH prototype, the MVAPICH wrapper for InfiniBand."""
+    compiler = "mvapich" if network_name == "infiniband" else "gcc"
+    return get_profile(library, compiler, key_bits)

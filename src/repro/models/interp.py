@@ -1,0 +1,60 @@
+"""Log–log interpolation over (message size → metric) calibration tables.
+
+Throughput-versus-size curves in MPI and crypto benchmarking are smooth
+on log–log axes (they are compositions of power laws and saturations),
+so piecewise-linear interpolation in log space is the standard way to
+evaluate a digitized curve between its anchor sizes.  Outside the anchor
+range the curve is clamped to its end values (saturation on the right,
+per-byte-dominated regime on the left).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Mapping, Sequence
+
+
+class LogLogCurve:
+    """Piecewise log–log interpolant through positive (x, y) anchors."""
+
+    def __init__(self, points: Mapping[int, float] | Sequence[tuple[int, float]]):
+        if isinstance(points, Mapping):
+            items = sorted(points.items())
+        else:
+            items = sorted(points)
+        if not items:
+            raise ValueError("curve needs at least one anchor point")
+        xs = [x for x, _ in items]
+        ys = [y for _, y in items]
+        if any(x <= 0 for x in xs):
+            raise ValueError("anchor x values must be positive")
+        if any(y <= 0 for y in ys):
+            raise ValueError("anchor y values must be positive")
+        if len(set(xs)) != len(xs):
+            raise ValueError("duplicate anchor x values")
+        self._xs = xs
+        self._ys = ys
+        self._log_xs = [math.log(x) for x in xs]
+        self._log_ys = [math.log(y) for y in ys]
+
+    @property
+    def anchors(self) -> list[tuple[int, float]]:
+        return list(zip(self._xs, self._ys))
+
+    def __call__(self, x: float) -> float:
+        if x <= 0:
+            raise ValueError(f"curve evaluated at non-positive x: {x}")
+        xs = self._xs
+        if x <= xs[0]:
+            return self._ys[0]
+        if x >= xs[-1]:
+            return self._ys[-1]
+        i = bisect_left(xs, x)
+        if xs[i] == x:
+            return self._ys[i]
+        lx = math.log(x)
+        x0, x1 = self._log_xs[i - 1], self._log_xs[i]
+        y0, y1 = self._log_ys[i - 1], self._log_ys[i]
+        t = (lx - x0) / (x1 - x0)
+        return math.exp(y0 + t * (y1 - y0))

@@ -1,0 +1,78 @@
+"""MPI_Allgather: recursive doubling (short, power-of-two) or ring.
+
+MPICH uses recursive doubling for short payloads on power-of-two
+communicators and the ring algorithm for long payloads or non-power-of-
+two sizes; the classic threshold is 512 KiB of *total* gathered data.
+"""
+
+from __future__ import annotations
+
+from repro.simmpi.collectives.common import is_power_of_two
+from repro.simmpi.message import as_bytes
+
+ALLGATHER_LONG_THRESHOLD = 512 * 1024
+
+
+def _pack(chunks: dict[int, bytes]) -> bytes:
+    parts = []
+    for idx in sorted(chunks):
+        c = chunks[idx]
+        parts.append(idx.to_bytes(4, "big"))
+        parts.append(len(c).to_bytes(4, "big"))
+        parts.append(c)
+    return b"".join(parts)
+
+
+def _unpack(payload: bytes) -> dict[int, bytes]:
+    out = {}
+    offset = 0
+    while offset < len(payload):
+        idx = int.from_bytes(payload[offset : offset + 4], "big")
+        n = int.from_bytes(payload[offset + 4 : offset + 8], "big")
+        offset += 8
+        out[idx] = payload[offset : offset + n]
+        offset += n
+    return out
+
+
+def allgather(handle, data: bytes) -> list[bytes]:
+    size = handle.size
+    data = as_bytes(data)
+    tag = handle._next_coll_tag()
+    if size == 1:
+        return [data]
+    total = len(data) * size
+    if is_power_of_two(size) and total <= ALLGATHER_LONG_THRESHOLD:
+        return _allgather_recursive_doubling(handle, data, tag)
+    return _allgather_ring(handle, data, tag)
+
+
+def _allgather_recursive_doubling(handle, data: bytes, tag: int) -> list[bytes]:
+    size, rank = handle.size, handle.rank
+    held: dict[int, bytes] = {rank: data}
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        packed = _pack(held)
+        wire = sum(len(c) for c in held.values())
+        rreq = handle.irecv(partner, tag, _internal=True)
+        handle.isend(packed, partner, tag, wire_bytes=wire, _internal=True).wait()
+        received = rreq.wait()
+        held.update(_unpack(received))
+        mask <<= 1
+    return [held[i] for i in range(size)]
+
+
+def _allgather_ring(handle, data: bytes, tag: int) -> list[bytes]:
+    size, rank = handle.size, handle.rank
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    held: dict[int, bytes] = {rank: data}
+    send_idx = rank
+    for _step in range(size - 1):
+        out = held[send_idx]
+        received, _status = handle.sendrecv(out, right, left, tag, tag, _internal=True)
+        recv_idx = (send_idx - 1) % size
+        held[recv_idx] = received
+        send_idx = recv_idx
+    return [held[i] for i in range(size)]

@@ -1,0 +1,21 @@
+"""MPI_Barrier: the dissemination algorithm (MPICH default).
+
+ceil(log2 p) rounds; in round k every rank sends a zero-byte token to
+``(rank + 2^k) mod p`` and receives one from ``(rank - 2^k) mod p``.
+After the last round every rank has (transitively) heard from everyone.
+"""
+
+from __future__ import annotations
+
+
+def barrier(handle) -> None:
+    size, rank = handle.size, handle.rank
+    if size == 1:
+        return
+    tag = handle._next_coll_tag()
+    mask = 1
+    while mask < size:
+        dst = (rank + mask) % size
+        src = (rank - mask) % size
+        handle.sendrecv(b"", dst, src, tag, tag, _internal=True)
+        mask <<= 1

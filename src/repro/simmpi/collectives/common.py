@@ -1,0 +1,75 @@
+"""Shared helpers for the collective algorithms."""
+
+from __future__ import annotations
+
+
+def split_chunks(data: bytes, parts: int) -> list[bytes]:
+    """Split *data* into *parts* contiguous chunks, sizes differing ≤ 1."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    base, extra = divmod(len(data), parts)
+    chunks = []
+    offset = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(data[offset : offset + size])
+        offset += size
+    return chunks
+
+
+def vrank_of(rank: int, root: int, size: int) -> int:
+    """Rank renumbered so the root is virtual rank 0 (binomial trees)."""
+    return (rank - root) % size
+
+
+def rank_of(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def lowest_set_bit(x: int) -> int:
+    """The value of x's lowest set bit (2^k); undefined for 0."""
+    if x <= 0:
+        raise ValueError(f"positive integer required, got {x}")
+    return x & -x
+
+
+def next_power_of_two(x: int) -> int:
+    if x < 1:
+        raise ValueError(f"positive integer required, got {x}")
+    p = 1
+    while p < x:
+        p <<= 1
+    return p
+
+
+def is_power_of_two(x: int) -> bool:
+    return x >= 1 and (x & (x - 1)) == 0
+
+
+def binomial_children(vrank: int, size: int) -> list[int]:
+    """Virtual ranks of *vrank*'s children in a binomial tree over
+    ``[0, size)``, in the order a binomial scatter/bcast sends to them
+    (largest subtree first)."""
+    sub = next_power_of_two(size) if vrank == 0 else lowest_set_bit(vrank)
+    children = []
+    mask = sub >> 1
+    while mask >= 1:
+        child = vrank + mask
+        if child < size:
+            children.append(child)
+        mask >>= 1
+    return children
+
+
+def binomial_parent(vrank: int) -> int:
+    """Virtual rank of the parent (clear the lowest set bit)."""
+    if vrank == 0:
+        raise ValueError("the root has no parent")
+    return vrank - lowest_set_bit(vrank)
+
+
+def subtree_span(vrank: int, size: int) -> tuple[int, int]:
+    """The contiguous virtual-rank interval [lo, hi) rooted at *vrank*."""
+    if vrank == 0:
+        return 0, size
+    return vrank, min(vrank + lowest_set_bit(vrank), size)

@@ -1,0 +1,380 @@
+"""The per-rank communicator API.
+
+A single :class:`Communicator` object exists per simulated job; each
+rank interacts with it through a :class:`CommHandle` bound to its rank,
+whose methods mirror the MPI routines the paper instruments:
+
+- point-to-point: ``send``, ``recv``, ``isend``, ``irecv``, ``wait``
+  (on the returned :class:`Request`), ``waitall``, ``sendrecv``,
+  ``probe``/``iprobe``;
+- collectives: ``bcast``, ``allgather``, ``alltoall``, ``alltoallv``
+  (§IV's list), plus ``gather``, ``scatter``, ``reduce``, ``allreduce``,
+  ``reduce_scatter``, ``scan``, ``barrier``;
+- communicator management: ``split`` (MPI_Comm_split).
+
+Payloads are bytes; higher layers (encrypted MPI, workloads) build
+structure on top.  Collective algorithms live in
+:mod:`repro.simmpi.collectives` and call back into this point-to-point
+layer, the same layering MPICH uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Sequence
+
+from repro.des.process import Scheduler
+from repro.simmpi import collectives as _coll
+from repro.simmpi.message import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX_USER_TAG,
+    Envelope,
+    OpaquePayload,
+)
+from repro.simmpi.request import Request, Status, waitall
+from repro.simmpi.topology import ClusterRuntime
+from repro.simmpi.transport import Transport
+
+_comm_ids = itertools.count()
+
+#: Base of the internal tag space used by collective phases.
+_COLL_TAG_BASE = MAX_USER_TAG
+
+
+class Communicator:
+    """Job-wide state: transport plus per-rank collective sequencing."""
+
+    def __init__(self, scheduler: Scheduler, cluster: ClusterRuntime, trace=None):
+        self.scheduler = scheduler
+        self.cluster = cluster
+        self.size = cluster.nranks
+        self.comm_id = next(_comm_ids)
+        self.transport = Transport(scheduler, cluster, trace)
+        self._coll_seq = [0] * self.size
+
+    def handle(self, rank: int) -> "CommHandle":
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range 0..{self.size - 1}")
+        return CommHandle(self, rank)
+
+
+class CommHandle:
+    """The MPI-like API one rank sees.
+
+    A handle is either the world view (``members is None``: local ranks
+    are global ranks) or a *group* view created by :meth:`split`
+    (``members`` maps local rank → global rank, and the group gets its
+    own communication context id, so traffic never crosses groups).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        rank: int,
+        *,
+        members: list[int] | None = None,
+        comm_id=None,
+    ):
+        self._comm = comm
+        self.rank = rank
+        self._members = members
+        if members is None:
+            self.size = comm.size
+            self._comm_id = comm.comm_id if comm_id is None else comm_id
+            self._group_coll_seq: int | None = None
+            self._to_local: dict[int, int] | None = None
+        else:
+            self.size = len(members)
+            if comm_id is None:
+                raise ValueError("group handles need an explicit comm_id")
+            self._comm_id = comm_id
+            self._group_coll_seq = 0
+            self._to_local = {g: l for l, g in enumerate(members)}
+
+    # -- rank translation ---------------------------------------------------
+
+    def _global_rank(self, local: int) -> int:
+        return local if self._members is None else self._members[local]
+
+    def _local_rank(self, global_rank: int) -> int:
+        if self._to_local is None:
+            return global_rank
+        return self._to_local[global_rank]
+
+    @property
+    def is_group(self) -> bool:
+        return self._members is None is False
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+
+    def isend(self, data: bytes, dest: int, tag: int = 0, *, wire_bytes: int = -1,
+              _internal: bool = False) -> Request:
+        """Non-blocking send; completes when the buffer is reusable."""
+        self._check_peer(dest)
+        self._check_tag(tag, _internal)
+        if isinstance(data, OpaquePayload):
+            payload = data  # zero-copy simulated frame
+        elif isinstance(data, (bytes, bytearray, memoryview)):
+            payload = bytes(data)
+        else:
+            raise TypeError(f"payload must be bytes-like, got {type(data).__name__}")
+        env = Envelope(
+            src=self._global_rank(self.rank),
+            dst=self._global_rank(dest),
+            tag=tag,
+            comm_id=self._comm_id,
+            payload=payload,
+            wire_bytes=wire_bytes,
+        )
+        req = Request(self._comm.scheduler, "send")
+        self._comm.transport.isend(env, lambda: req.complete(None))
+        return req
+
+    def send(self, data: bytes, dest: int, tag: int = 0, *, wire_bytes: int = -1,
+             _internal: bool = False) -> None:
+        """Blocking send (returns when the send buffer is reusable)."""
+        self.isend(data, dest, tag, wire_bytes=wire_bytes, _internal=_internal).wait()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
+              _internal: bool = False) -> Request:
+        """Non-blocking receive; ``wait()`` returns the payload bytes."""
+        if source != ANY_SOURCE:
+            self._check_peer(source)
+        self._check_tag(tag, _internal, allow_any=True)
+        sched = self._comm.scheduler
+        req = Request(sched, "recv")
+        req._match_env = None  # set on match; read by the postprocess hook
+
+        def status_of(env: Envelope) -> Status:
+            return Status(
+                source=self._local_rank(env.src),
+                tag=env.tag,
+                count=len(env.payload),
+            )
+
+        def on_match(env: Envelope) -> None:
+            req._match_env = env
+            trigger = env.info.get("rendezvous_trigger")
+            if trigger is not None:
+                trigger()
+                data_ready = env.info["data_ready"]
+
+                def finish(_ev) -> None:
+                    req.complete(env.payload, status_of(env))
+
+                if data_ready.done:
+                    finish(None)
+                else:
+                    data_ready.callbacks.append(finish)
+            else:
+                req.complete(env.payload, status_of(env))
+
+        match_source = (
+            source if source == ANY_SOURCE else self._global_rank(source)
+        )
+        self._comm.transport.engines[self._global_rank(self.rank)].post_recv(
+            match_source, tag, self._comm_id, on_match
+        )
+
+        def postprocess(payload: bytes) -> bytes:
+            # Receiver-side per-message CPU cost (matching / copy-out),
+            # charged in the waiting rank's context.
+            env = req._match_env
+            overhead = env.info.get("recv_overhead", 0.0) if env is not None else 0.0
+            if overhead:
+                sched.current().sleep(overhead)
+            return payload
+
+        req.set_postprocess(postprocess)
+        return req
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
+             _internal: bool = False) -> tuple[bytes, Status]:
+        """Blocking receive; returns (payload, status)."""
+        req = self.irecv(source, tag, _internal=_internal)
+        data = req.wait()
+        assert req.status is not None
+        return data, req.status
+
+    def sendrecv(
+        self,
+        senddata: bytes,
+        dest: int,
+        recvsource: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        *,
+        _internal: bool = False,
+    ) -> tuple[bytes, Status]:
+        """Simultaneous send+recv (deadlock-free pairwise exchange)."""
+        rreq = self.irecv(recvsource, recvtag, _internal=_internal)
+        sreq = self.isend(senddata, dest, sendtag, _internal=_internal)
+        data = rreq.wait()
+        sreq.wait()
+        assert rreq.status is not None
+        return data, rreq.status
+
+    @staticmethod
+    def waitall(requests: list[Request]) -> list:
+        return waitall(requests)
+
+    # ------------------------------------------------------------------
+    # collectives (§IV list + NAS requirements)
+    # ------------------------------------------------------------------
+
+    def barrier(self) -> None:
+        _coll.barrier(self)
+
+    def bcast(self, data: bytes | None, root: int = 0, *,
+              nbytes: int | None = None) -> bytes:
+        return _coll.bcast(self, data, root, nbytes=nbytes)
+
+    def gather(self, data: bytes, root: int = 0) -> list[bytes] | None:
+        return _coll.gather(self, data, root)
+
+    def scatter(self, chunks: Sequence[bytes] | None, root: int = 0) -> bytes:
+        return _coll.scatter(self, chunks, root)
+
+    def allgather(self, data: bytes) -> list[bytes]:
+        return _coll.allgather(self, data)
+
+    def alltoall(self, chunks: Sequence[bytes]) -> list[bytes]:
+        return _coll.alltoall(self, chunks)
+
+    def alltoallv(self, chunks: Sequence[bytes]) -> list[bytes]:
+        return _coll.alltoallv(self, chunks)
+
+    def reduce(self, data: bytes, op: Callable[[bytes, bytes], bytes],
+               root: int = 0) -> bytes | None:
+        return _coll.reduce(self, data, op, root)
+
+    def allreduce(self, data: bytes, op: Callable[[bytes, bytes], bytes]) -> bytes:
+        return _coll.allreduce(self, data, op)
+
+    def reduce_scatter(self, chunks: Sequence[bytes],
+                       op: Callable[[bytes, bytes], bytes]) -> bytes:
+        return _coll.reduce_scatter(self, chunks, op)
+
+    def scan(self, data: bytes, op: Callable[[bytes, bytes], bytes]) -> bytes:
+        return _coll.scan(self, data, op)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _next_coll_tag(self, phases: int = 1) -> int:
+        """Reserve a tag block for one collective call.
+
+        Every rank must call collectives in the same order (an MPI
+        requirement), so the per-rank sequence numbers agree and all
+        ranks derive the same tag block.  Group handles count their own
+        sequence (group members share collective order; the group's
+        distinct comm_id isolates its traffic anyway).
+        """
+        if self._group_coll_seq is not None:
+            seq = self._group_coll_seq
+            self._group_coll_seq += phases
+            return _COLL_TAG_BASE + seq
+        seq = self._comm._coll_seq[self.rank]
+        self._comm._coll_seq[self.rank] += phases
+        return _COLL_TAG_BASE + seq
+
+    # ------------------------------------------------------------------
+    # communicator management
+    # ------------------------------------------------------------------
+
+    def split(self, color: int | None, key: int = 0) -> "CommHandle | None":
+        """MPI_Comm_split: partition this communicator by *color*.
+
+        Collective over this handle's group.  Returns a new handle
+        whose ranks are the members sharing this rank's color, ordered
+        by (key, old rank); ``color=None`` (MPI_UNDEFINED) participates
+        in the call but gets no new communicator.
+        """
+        import struct
+
+        if color is not None and color < 0:
+            raise ValueError(f"color must be non-negative or None, got {color}")
+        split_seq = self._next_coll_tag()
+        packed = struct.pack(
+            "<qq?", -1 if color is None else color, key, color is None
+        )
+        gathered = _coll.allgather(self, packed)
+        entries = []
+        for old_rank, blob in enumerate(gathered):
+            c, k, undefined = struct.unpack("<qq?", blob)
+            if not undefined:
+                entries.append((c, k, old_rank))
+        if color is None:
+            return None
+        mine = sorted(
+            [(k, r) for c, k, r in entries if c == color]
+        )
+        members_local = [r for _k, r in mine]
+        members_global = [self._global_rank(r) for r in members_local]
+        colors = sorted({c for c, _k, _r in entries})
+        comm_id = (
+            "split",
+            self._comm_id,
+            split_seq,
+            colors.index(color),
+        )
+        return CommHandle(
+            self._comm,
+            members_local.index(self.rank),
+            members=members_global,
+            comm_id=comm_id,
+        )
+
+    # ------------------------------------------------------------------
+    # probing
+    # ------------------------------------------------------------------
+
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status | None:
+        """Non-blocking probe: peek the earliest matching unexpected
+        message without consuming it; None if nothing matches."""
+        match_source = (
+            source if source == ANY_SOURCE else self._global_rank(source)
+        )
+        engine = self._comm.transport.engines[self._global_rank(self.rank)]
+        env = engine.peek(match_source, tag, self._comm_id)
+        if env is None:
+            return None
+        return Status(
+            source=self._local_rank(env.src), tag=env.tag, count=len(env.payload)
+        )
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
+        """Blocking probe: wait until a matching message is available
+        (it stays queued; a subsequent recv consumes it)."""
+        match_source = (
+            source if source == ANY_SOURCE else self._global_rank(source)
+        )
+        engine = self._comm.transport.engines[self._global_rank(self.rank)]
+        ready = self._comm.scheduler.event()
+        engine.post_probe(match_source, tag, self._comm_id, ready.succeed)
+        env = ready.wait()
+        return Status(
+            source=self._local_rank(env.src), tag=env.tag, count=len(env.payload)
+        )
+
+    def _check_peer(self, peer: int) -> None:
+        if not 0 <= peer < self.size:
+            raise ValueError(f"peer rank {peer} out of range 0..{self.size - 1}")
+
+    def _check_tag(self, tag: int, internal: bool, allow_any: bool = False) -> None:
+        if allow_any and tag == ANY_TAG:
+            return
+        if internal:
+            if tag < 0:
+                raise ValueError(f"negative internal tag {tag}")
+            return
+        if not 0 <= tag < MAX_USER_TAG:
+            raise ValueError(f"user tag must be in [0, {MAX_USER_TAG}), got {tag}")
+
+
+def _status_of(env: Envelope) -> Status:
+    return Status(source=env.src, tag=env.tag, count=len(env.payload))

@@ -1,0 +1,88 @@
+"""Numeric reduction operators for the byte-oriented collectives.
+
+The simulator's ``reduce``/``allreduce``/``reduce_scatter``/``scan``
+combine byte-strings; these helpers build the standard MPI_Op set
+(SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR) over NumPy dtypes, plus
+pack/unpack conveniences, so rank programs do::
+
+    from repro.simmpi import ops
+    total = ops.from_array(
+        comm.allreduce(ops.to_bytes(vec), ops.sum_op(vec.dtype)), vec.dtype
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+ReduceOp = Callable[[bytes, bytes], bytes]
+
+
+def to_bytes(array: np.ndarray) -> bytes:
+    """Serialize an array for the byte-oriented collectives."""
+    return np.ascontiguousarray(array).tobytes()
+
+
+def from_array(data: bytes, dtype, shape=None) -> np.ndarray:
+    """Deserialize collective output back into an array."""
+    out = np.frombuffer(data, dtype=dtype)
+    if shape is not None:
+        out = out.reshape(shape)
+    return out.copy()
+
+
+def _elementwise(fn, dtype) -> ReduceOp:
+    dt = np.dtype(dtype)
+
+    def op(a: bytes, b: bytes) -> bytes:
+        va = np.frombuffer(a, dtype=dt)
+        vb = np.frombuffer(b, dtype=dt)
+        if va.shape != vb.shape:
+            raise ValueError(
+                f"reduction operands differ in length: {va.size} vs {vb.size}"
+            )
+        return np.asarray(fn(va, vb), dtype=dt).tobytes()
+
+    return op
+
+
+def sum_op(dtype=np.float64) -> ReduceOp:
+    """MPI_SUM."""
+    return _elementwise(np.add, dtype)
+
+
+def prod_op(dtype=np.float64) -> ReduceOp:
+    """MPI_PROD."""
+    return _elementwise(np.multiply, dtype)
+
+
+def max_op(dtype=np.float64) -> ReduceOp:
+    """MPI_MAX."""
+    return _elementwise(np.maximum, dtype)
+
+
+def min_op(dtype=np.float64) -> ReduceOp:
+    """MPI_MIN."""
+    return _elementwise(np.minimum, dtype)
+
+
+def land_op(dtype=np.uint8) -> ReduceOp:
+    """MPI_LAND (logical and)."""
+    return _elementwise(lambda a, b: np.logical_and(a, b).astype(dtype), dtype)
+
+
+def lor_op(dtype=np.uint8) -> ReduceOp:
+    """MPI_LOR (logical or)."""
+    return _elementwise(lambda a, b: np.logical_or(a, b).astype(dtype), dtype)
+
+
+def band_op(dtype=np.uint64) -> ReduceOp:
+    """MPI_BAND (bitwise and)."""
+    return _elementwise(np.bitwise_and, dtype)
+
+
+def bor_op(dtype=np.uint64) -> ReduceOp:
+    """MPI_BOR (bitwise or)."""
+    return _elementwise(np.bitwise_or, dtype)

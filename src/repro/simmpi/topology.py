@@ -1,0 +1,76 @@
+"""Runtime cluster state: nodes, NICs, cores, and rank placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.des.flows import Capacity, FlowNetwork
+from repro.des.process import Scheduler
+from repro.des.resources import Resource
+from repro.models.cpu import ClusterSpec
+from repro.models.network import NetworkModel
+
+
+@dataclass
+class Node:
+    """One simulated host: a NIC (egress + ingress) and a core pool."""
+
+    index: int
+    egress: Capacity
+    ingress: Capacity
+    nic_engine: Resource
+    cores: Resource
+    #: ranks currently injecting messages (drives the NIC contention model)
+    active_senders: int = 0
+
+
+@dataclass
+class ClusterRuntime:
+    """Simulated instantiation of a :class:`ClusterSpec` on one fabric."""
+
+    scheduler: Scheduler
+    spec: ClusterSpec
+    network: NetworkModel
+    nranks: int
+    placement: str = "block"
+    nodes: list[Node] = field(init=False)
+    flownet: FlowNetwork = field(init=False)
+    _pair_caps: dict[tuple[int, int], Capacity] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.spec.validate_ranks(self.nranks)
+        self.flownet = FlowNetwork(self.scheduler)
+        self.nodes = [
+            Node(
+                index=i,
+                egress=Capacity(f"node{i}.egress", self.network.nic_capacity),
+                ingress=Capacity(f"node{i}.ingress", self.network.nic_capacity),
+                nic_engine=Resource(self.scheduler, 1, f"node{i}.nic"),
+                cores=Resource(self.scheduler, self.spec.cores_per_node, f"node{i}.cores"),
+            )
+            for i in range(self.spec.nodes)
+        ]
+
+    def node_of(self, rank: int) -> Node:
+        return self.nodes[self.spec.node_of(rank, self.nranks, self.placement)]
+
+    def same_node(self, a: int, b: int) -> bool:
+        return self.node_of(a).index == self.node_of(b).index
+
+    def pair_capacity(self, src: int, dst: int, size: int) -> Capacity:
+        """Per-ordered-pair stream cap: in-flight messages of one
+        sender/receiver pair share the pipelined single-stream bandwidth.
+
+        The limit tracks the current message size; it is only retargeted
+        when the pair has no active flows (mixed-size traffic on one
+        pair is rare in the paper's benchmarks).
+        """
+        key = (src, dst)
+        cap = self._pair_caps.get(key)
+        limit = self.network.stream_bandwidth(size)
+        if cap is None:
+            cap = Capacity(f"pair{src}->{dst}", limit)
+            self._pair_caps[key] = cap
+        elif not cap.flows and cap.limit != limit:
+            cap.limit = limit
+        return cap

@@ -1,0 +1,92 @@
+"""Communication tracing: who sent what to whom, and how big.
+
+Attach a :class:`CommTrace` to a simulated job (``run_program(...,
+trace=...)``) to collect per-route traffic statistics — the
+communication-characterization data (bytes per rank pair, message-size
+histogram, per-kind counts) that the NAS skeleton volumes in this
+reproduction are based on.  The quickstart for it is
+``examples/comm_characterization.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RouteStats:
+    messages: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+
+
+@dataclass
+class CommTrace:
+    """Aggregated traffic statistics for one simulated job."""
+
+    routes: dict[tuple[int, int], RouteStats] = field(default_factory=dict)
+    #: message-size histogram: log2 bucket -> count (bucket b holds
+    #: sizes in [2^b, 2^(b+1)); empty messages land in bucket -1)
+    size_histogram: dict[int, int] = field(default_factory=dict)
+    total_messages: int = 0
+    total_payload_bytes: int = 0
+    total_wire_bytes: int = 0
+
+    def record(self, src: int, dst: int, payload_bytes: int, wire_bytes: int) -> None:
+        stats = self.routes.setdefault((src, dst), RouteStats())
+        stats.messages += 1
+        stats.payload_bytes += payload_bytes
+        stats.wire_bytes += wire_bytes
+        bucket = -1 if payload_bytes == 0 else int(math.log2(payload_bytes))
+        self.size_histogram[bucket] = self.size_histogram.get(bucket, 0) + 1
+        self.total_messages += 1
+        self.total_payload_bytes += payload_bytes
+        self.total_wire_bytes += wire_bytes
+
+    # -- analysis helpers ---------------------------------------------------
+
+    def bytes_sent_by(self, rank: int) -> int:
+        return sum(s.payload_bytes for (src, _dst), s in self.routes.items() if src == rank)
+
+    def bytes_received_by(self, rank: int) -> int:
+        return sum(s.payload_bytes for (_src, dst), s in self.routes.items() if dst == rank)
+
+    def matrix(self, nranks: int) -> list[list[int]]:
+        """Dense bytes matrix m[src][dst] (payload bytes)."""
+        m = [[0] * nranks for _ in range(nranks)]
+        for (src, dst), stats in self.routes.items():
+            m[src][dst] = stats.payload_bytes
+        return m
+
+    def heaviest_routes(self, n: int = 10) -> list[tuple[tuple[int, int], RouteStats]]:
+        return sorted(
+            self.routes.items(), key=lambda kv: kv[1].payload_bytes, reverse=True
+        )[:n]
+
+    def wire_overhead_fraction(self) -> float:
+        """Extra wire bytes over payload bytes (the +28/message cost)."""
+        if self.total_payload_bytes == 0:
+            return 0.0
+        return (
+            self.total_wire_bytes - self.total_payload_bytes
+        ) / self.total_payload_bytes
+
+    def render(self, nranks: int | None = None) -> str:
+        lines = [
+            f"messages: {self.total_messages}, payload: "
+            f"{self.total_payload_bytes / 1e6:.2f} MB, wire: "
+            f"{self.total_wire_bytes / 1e6:.2f} MB "
+            f"(+{self.wire_overhead_fraction() * 100:.2f}%)",
+            "size histogram (log2 buckets):",
+        ]
+        for bucket in sorted(self.size_histogram):
+            label = "0B" if bucket == -1 else f"2^{bucket}"
+            lines.append(f"  {label:>6s}: {self.size_histogram[bucket]}")
+        lines.append("heaviest routes:")
+        for (src, dst), stats in self.heaviest_routes(5):
+            lines.append(
+                f"  {src}->{dst}: {stats.messages} msgs, "
+                f"{stats.payload_bytes / 1e6:.3f} MB"
+            )
+        return "\n".join(lines)

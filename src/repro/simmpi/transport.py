@@ -1,0 +1,208 @@
+"""The transport: moves envelopes between ranks and charges virtual time.
+
+Three paths, selected per message:
+
+- **intra-node (shm)** — sender overhead, then delivery after the
+  shared-memory latency + copy time;
+- **inter-node eager** (size ≤ fabric eager threshold) — sender CPU
+  overhead (descriptor + buffer copy), NIC engine occupancy (the
+  per-message injection cost that produces message-rate contention),
+  then payload transfer and delivery after wire latency + the per-size
+  protocol residual;
+- **inter-node rendezvous** (above the threshold) — an RTS header
+  travels to the receiver and enters the matching engine; when a recv
+  matches it, a CTS returns to the sender and the payload transfer
+  begins.  The sender's request completes when the payload has left its
+  buffer (flow completion), the receiver's when the payload arrives.
+
+Payload transfers of at least :data:`FLOW_CUTOFF` bytes run through the
+max-min fair flow network (sharing NIC egress/ingress and the per-pair
+stream capacity); smaller ones are charged their unloaded serialization
+time directly, since for them the NIC message engine — not bandwidth —
+is the contended resource.
+
+Delivery on each ordered (src, dst) route is chained FIFO — an
+envelope enters the receiver's matching engine only after every
+earlier-sent envelope on that route has — which gives MPI's
+non-overtaking guarantee the same way an in-order fabric does (an RTS
+cannot pass the previous message's last byte on the wire).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.des.process import Scheduler, SimEvent
+from repro.simmpi.matching import MatchingEngine
+from repro.simmpi.message import Envelope
+from repro.simmpi.topology import ClusterRuntime
+
+#: Messages at or above this many wire bytes go through the fluid flow
+#: network; below it bandwidth sharing is irrelevant (the NIC message
+#: engine dominates) and the flow machinery would only cost time.
+FLOW_CUTOFF = 2048
+
+
+class Transport:
+    def __init__(self, scheduler: Scheduler, cluster: ClusterRuntime, trace=None):
+        self.sched = scheduler
+        self.cluster = cluster
+        self.net = cluster.network
+        #: optional CommTrace recording every message
+        self.trace = trace
+        #: optional FaultInjector applied at delivery time
+        self.fault_injector = None
+        self.engines: list[MatchingEngine] = [
+            MatchingEngine(r) for r in range(cluster.nranks)
+        ]
+        #: per ordered (src, dst) route: delivery event of the last
+        #: envelope sent, chaining FIFO delivery order
+        self._route_tail: dict[tuple[int, int], SimEvent] = {}
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def isend(self, env: Envelope, on_sent: Callable[[], None]) -> None:
+        """Inject *env*; runs in the sending rank's process context.
+
+        Blocks the caller only for the injection overhead.  *on_sent*
+        fires when the send buffer is reusable (eager: immediately after
+        injection; rendezvous: when the payload transfer completes).
+        """
+        size = env.wire_bytes
+        if self.trace is not None:
+            self.trace.record(env.src, env.dst, len(env.payload), size)
+        # Chain this envelope behind the route's previous one so FIFO
+        # order is decided by *send* order, not by which transfer
+        # finishes first.
+        route = (env.src, env.dst)
+        env.info["prev_delivery"] = self._route_tail.get(route)
+        env.info["delivery_done"] = self.sched.event()
+        self._route_tail[route] = env.info["delivery_done"]
+        if self.cluster.same_node(env.src, env.dst):
+            self._send_shm(env, size, on_sent)
+        elif self.net.is_eager(size):
+            self._send_eager(env, size, on_sent)
+        else:
+            self._send_rendezvous(env, size, on_sent)
+
+    # -- shared memory ---------------------------------------------------
+
+    def _send_shm(self, env: Envelope, size: int, on_sent: Callable[[], None]) -> None:
+        proc = self.sched.current()
+        proc.sleep(self.net.shm_msg_overhead)
+        env.info["recv_overhead"] = self.net.shm_msg_overhead
+        delay = self.net.shm_latency
+        if size > 0:
+            delay += size / self.net.shm_curve(size)
+        self._deliver_after(env, delay)
+        on_sent()
+
+    # -- eager -------------------------------------------------------------
+
+    def _send_eager(self, env: Envelope, size: int, on_sent: Callable[[], None]) -> None:
+        node = self.cluster.node_of(env.src)
+        proc = self.sched.current()
+        node.active_senders += 1
+        try:
+            proc.sleep(self.net.send_overhead(size))
+            with node.nic_engine:
+                proc.sleep(self.net.nic_service_time(node.active_senders))
+        finally:
+            node.active_senders -= 1
+        env.info["recv_overhead"] = self.net.recv_overhead(size)
+        tail = self.net.latency + self.net.proto_delay(size)
+        if size >= FLOW_CUTOFF:
+            flow_done = self._start_flow(env, size)
+            flow_done.callbacks.append(
+                lambda _ev: self._deliver_after(env, tail)
+            )
+        else:
+            transfer = size / self.net.stream_bandwidth(size) if size else 0.0
+            self._deliver_after(env, transfer + tail)
+        on_sent()
+
+    # -- rendezvous ---------------------------------------------------------
+
+    def _send_rendezvous(
+        self, env: Envelope, size: int, on_sent: Callable[[], None]
+    ) -> None:
+        node = self.cluster.node_of(env.src)
+        proc = self.sched.current()
+        node.active_senders += 1
+        try:
+            proc.sleep(self.net.send_overhead(size))
+            with node.nic_engine:
+                proc.sleep(self.net.nic_service_time(node.active_senders))
+        finally:
+            node.active_senders -= 1
+
+        env.info["recv_overhead"] = self.net.msg_overhead  # no eager copy-out
+        data_ready: SimEvent = self.sched.event()
+        env.info["data_ready"] = data_ready
+
+        def trigger() -> None:
+            """Called when a recv matches the RTS (any context).
+
+            CTS travels back (one latency), then the payload flows; the
+            receiver sees the data one more latency + protocol residual
+            after the flow drains the sender's buffer.
+            """
+            self.sched.engine.schedule(self.net.latency, start_transfer)
+
+        def start_transfer() -> None:
+            flow_done = self._start_flow(env, size)
+
+            def on_flow_done(_ev: SimEvent) -> None:
+                on_sent()
+                self.sched.engine.schedule(
+                    self.net.latency + self.net.proto_delay(size),
+                    data_ready.succeed,
+                    None,
+                )
+
+            flow_done.callbacks.append(on_flow_done)
+
+        env.info["rendezvous_trigger"] = trigger
+        # The RTS header is a small control message: it enters the
+        # receiver's matching engine after one wire latency.
+        self._deliver_after(env, self.net.latency)
+        # NOTE: on_sent fires from the flow completion above, not here.
+
+    # -- shared pieces -----------------------------------------------------
+
+    def _start_flow(self, env: Envelope, size: int) -> SimEvent:
+        src_node = self.cluster.node_of(env.src)
+        dst_node = self.cluster.node_of(env.dst)
+        cap = self.net.stream_bandwidth(size)
+        if size >= FLOW_CUTOFF:
+            constraints = (
+                src_node.egress,
+                dst_node.ingress,
+                self.cluster.pair_capacity(env.src, env.dst, size),
+            )
+            return self.cluster.flownet.transfer(size, cap, constraints)
+        done = self.sched.event()
+        self.sched.engine.schedule(size / cap if size else 0.0, done.succeed, None)
+        return done
+
+    def _deliver_after(self, env: Envelope, delay: float) -> None:
+        """Schedule delivery *delay* from now, behind the route's chain."""
+        self.sched.engine.schedule(delay, self._try_deliver, env)
+
+    def _try_deliver(self, env: Envelope) -> None:
+        prev: SimEvent | None = env.info.get("prev_delivery")
+        if prev is None or prev.done:
+            self._deliver_now(env)
+        else:
+            prev.callbacks.append(lambda _ev: self._deliver_now(env))
+
+    def _deliver_now(self, env: Envelope) -> None:
+        env.info.pop("prev_delivery", None)  # release the chain reference
+        if self.fault_injector is not None:
+            for out in self.fault_injector.apply(env):
+                self.engines[out.dst].deliver(out)
+        else:
+            self.engines[env.dst].deliver(env)
+        env.info["delivery_done"].succeed(None)

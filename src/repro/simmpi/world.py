@@ -1,0 +1,134 @@
+"""Launching simulated MPI jobs.
+
+:func:`run_program` is the ``mpiexec`` of this package: it spins up a
+scheduler, a cluster runtime, and one simulated process per rank, runs
+the program on every rank, and returns the per-rank results plus the
+job's virtual makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.des.process import Scheduler
+from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
+from repro.models.network import NetworkModel, get_network
+from repro.simmpi.comm import CommHandle, Communicator
+from repro.simmpi.topology import ClusterRuntime
+
+
+class RankContext:
+    """Everything one rank's program sees."""
+
+    def __init__(self, comm: CommHandle, scheduler: Scheduler,
+                 cluster: ClusterRuntime):
+        self.comm = comm
+        self._scheduler = scheduler
+        self._cluster = cluster
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds (MPI_Wtime)."""
+        return self._scheduler.now
+
+    @property
+    def node(self) -> int:
+        return self._cluster.node_of(self.rank).index
+
+    def compute(self, seconds: float) -> None:
+        """Spend *seconds* of CPU time (the rank's core is dedicated)."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time: {seconds}")
+        if seconds:
+            self._scheduler.current().sleep(seconds)
+
+    def extra_cores(self) -> "ExtraCores":
+        """Access to the node's idle cores (the multi-threaded
+        encryption extension uses this; see encmpi.pipeline)."""
+        return ExtraCores(self._scheduler, self._cluster, self.rank)
+
+
+class ExtraCores:
+    """Best-effort claim on idle cores of the rank's node."""
+
+    def __init__(self, scheduler: Scheduler, cluster: ClusterRuntime, rank: int):
+        self._scheduler = scheduler
+        self._node = cluster.node_of(rank)
+
+    @property
+    def idle(self) -> int:
+        """Cores on this node not currently held by a rank or helper."""
+        return self._node.cores.capacity - self._node.cores.in_use
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated job."""
+
+    results: list[Any]
+    duration: float
+    #: per-rank (start, end) virtual times
+    spans: list[tuple[float, float]] = field(default_factory=list)
+    #: populated when run_program(trace=True)
+    trace: Any = None
+
+
+def run_program(
+    nranks: int,
+    program: Callable[[RankContext], Any],
+    *,
+    network: str | NetworkModel = "ethernet",
+    cluster: ClusterSpec = PAPER_CLUSTER,
+    placement: str = "block",
+    trace: bool = False,
+    fault_injector=None,
+) -> SimResult:
+    """Run *program* on *nranks* simulated ranks; returns a SimResult.
+
+    The program receives a :class:`RankContext`.  Rank processes hold
+    one core each for their lifetime (the paper never oversubscribes).
+    ``trace=True`` records every message into ``SimResult.trace`` (a
+    :class:`repro.simmpi.tracing.CommTrace`).  ``fault_injector`` (a
+    :class:`repro.simmpi.faults.FaultInjector`) lets an adversary
+    tamper with deliveries.
+    """
+    net = get_network(network) if isinstance(network, str) else network
+    scheduler = Scheduler()
+    runtime = ClusterRuntime(scheduler, cluster, net, nranks, placement)
+    comm_trace = None
+    if trace:
+        from repro.simmpi.tracing import CommTrace
+
+        comm_trace = CommTrace()
+    communicator = Communicator(scheduler, runtime, comm_trace)
+    communicator.transport.fault_injector = fault_injector
+
+    results: list[Any] = [None] * nranks
+    spans: list[tuple[float, float]] = [(0.0, 0.0)] * nranks
+
+    def rank_main(rank: int) -> None:
+        node = runtime.node_of(rank)
+        node.cores.acquire()
+        start = scheduler.now
+        ctx = RankContext(communicator.handle(rank), scheduler, runtime)
+        try:
+            results[rank] = program(ctx)
+        finally:
+            spans[rank] = (start, scheduler.now)
+            node.cores.release()
+
+    for r in range(nranks):
+        scheduler.spawn(rank_main, r, name=f"rank{r}")
+    duration = scheduler.run()
+    return SimResult(
+        results=results, duration=duration, spans=spans, trace=comm_trace
+    )

@@ -1,0 +1,121 @@
+"""Byte-size and rate units used throughout the reproduction.
+
+The paper mixes decimal rates (MB/s as 1e6 bytes per second — the unit
+used by the OSU benchmarks and by the text, e.g. "1381 MB/s") with binary
+message sizes (a "2MB message" in the ping-pong plot is 2 MiB = 2**21
+bytes, as produced by the OSU size sweep).  We follow the same
+convention: sizes are binary, rates are decimal.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Binary size units (message sizes in the benchmark sweeps).
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+#: Decimal rate unit: 1 MB/s as reported by the paper and OSU suite.
+MB_PER_S = 1e6
+
+_SIZE_RE = re.compile(
+    r"^\s*([0-9]*\.?[0-9]+)\s*(b|byte|bytes|k|kb|kib|m|mb|mib|g|gb|gib)?\s*$",
+    re.IGNORECASE,
+)
+
+_SIZE_MULTIPLIERS = {
+    None: 1,
+    "b": 1,
+    "byte": 1,
+    "bytes": 1,
+    "k": KiB,
+    "kb": KiB,
+    "kib": KiB,
+    "m": MiB,
+    "mb": MiB,
+    "mib": MiB,
+    "g": GiB,
+    "gb": GiB,
+    "gib": GiB,
+}
+
+
+def parse_size(text: str | int) -> int:
+    """Parse a human message size ("16KB", "2MB", "1B", 4096) into bytes.
+
+    Sizes follow the OSU convention: KB/MB/GB are binary multiples.
+
+    >>> parse_size("16KB")
+    16384
+    >>> parse_size("2MB")
+    2097152
+    >>> parse_size(17)
+    17
+    """
+    if isinstance(text, int):
+        if text < 0:
+            raise ValueError(f"negative size: {text}")
+        return text
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise ValueError(f"unparsable size: {text!r}")
+    value = float(m.group(1))
+    unit = m.group(2).lower() if m.group(2) else None
+    result = value * _SIZE_MULTIPLIERS[unit]
+    if abs(result - round(result)) > 1e-9:
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(round(result))
+
+
+def format_bytes(n: int) -> str:
+    """Format a byte count the way the paper labels its x-axes.
+
+    >>> format_bytes(1)
+    '1B'
+    >>> format_bytes(16384)
+    '16KB'
+    >>> format_bytes(2 * MiB)
+    '2MB'
+    """
+    if n < 0:
+        raise ValueError(f"negative size: {n}")
+    for unit, name in ((GiB, "GB"), (MiB, "MB"), (KiB, "KB")):
+        if n >= unit and n % unit == 0:
+            return f"{n // unit}{name}"
+        if n >= unit:
+            return f"{n / unit:.2f}{name}"
+    return f"{n}B"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Format a throughput in the paper's decimal MB/s.
+
+    >>> format_rate(1381e6)
+    '1381.00 MB/s'
+    """
+    return f"{bytes_per_second / MB_PER_S:.2f} MB/s"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with the unit the paper would use.
+
+    >>> format_time(0.0000315)
+    '31.50us'
+    >>> format_time(12.75)
+    '12.750s'
+    """
+    if seconds < 0:
+        raise ValueError(f"negative duration: {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.2f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.3f}s"
+
+
+def mb_per_s(bytes_count: int | float, seconds: float) -> float:
+    """Throughput in the paper's decimal MB/s for *bytes_count* over *seconds*."""
+    if seconds <= 0:
+        raise ValueError(f"non-positive duration: {seconds}")
+    return bytes_count / seconds / MB_PER_S

@@ -1,0 +1,28 @@
+"""Benchmark workloads: the paper's four suites.
+
+- :mod:`repro.workloads.encdec` — the encryption–decryption
+  microbenchmark (Figs. 2 & 9), with both the calibrated model curves
+  and a *measured* curve for the real OpenSSL backend on this host;
+- :mod:`repro.workloads.pingpong` — blocking two-node ping-pong
+  (Tables I & V, Figs. 3 & 10);
+- :mod:`repro.workloads.multipair` — OSU multiple-pair bandwidth
+  (Figs. 4–6 & 11–13);
+- :mod:`repro.workloads.osu_collectives` — OSU collective latency for
+  Bcast and Alltoall (Tables II, III, VI, VII; Figs. 7, 8, 14, 15);
+- :mod:`repro.workloads.nas` — communication-skeleton proxies of the
+  NAS parallel benchmarks (Tables IV & VIII).
+"""
+
+from repro.workloads.pingpong import pingpong_oneway_time, pingpong_throughput
+from repro.workloads.multipair import multipair_aggregate_throughput
+from repro.workloads.osu_collectives import collective_latency
+from repro.workloads.encdec import modeled_encdec_curve, measured_encdec_curve
+
+__all__ = [
+    "pingpong_oneway_time",
+    "pingpong_throughput",
+    "multipair_aggregate_throughput",
+    "collective_latency",
+    "modeled_encdec_curve",
+    "measured_encdec_curve",
+]

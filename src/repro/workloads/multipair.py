@@ -1,0 +1,84 @@
+"""OSU Multiple-Pair Bandwidth (§V): N senders on one node stream to N
+receivers on another through windows of non-blocking sends.
+
+Per OSU's osu_mbw_mr: in each iteration a sender posts ``window``
+isends of the given size to its receiver and waits for a short reply
+before the next iteration; aggregate uni-directional throughput is
+reported.  The +28 encrypted-wire bytes are excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.encmpi import EncryptedComm, SecurityConfig
+from repro.models.cpu import ClusterSpec
+from repro.simmpi import run_program
+
+MULTIPAIR_CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)
+
+#: OSU defaults: 64-message window; the paper runs 100 iterations — in
+#: the deterministic simulator two post-warmup iterations suffice.
+DEFAULT_WINDOW = 64
+DEFAULT_ITERS = 2
+
+
+def multipair_aggregate_throughput(
+    size: int,
+    pairs: int,
+    *,
+    network: str = "ethernet",
+    library: str | None = None,
+    key_bits: int = 256,
+    window: int = DEFAULT_WINDOW,
+    iters: int = DEFAULT_ITERS,
+) -> float:
+    """Aggregate uni-directional throughput in bytes/s over all pairs."""
+    if not 1 <= pairs <= MULTIPAIR_CLUSTER.cores_per_node:
+        raise ValueError(
+            f"pairs must be in [1, {MULTIPAIR_CLUSTER.cores_per_node}], got {pairs}"
+        )
+    if size < 1:
+        raise ValueError(f"message size must be >= 1, got {size}")
+    payload = b"\x5a" * size
+    nranks = 2 * pairs
+    per_pair_rate: list[float] = [0.0] * pairs
+
+    def program(ctx):
+        # Senders are ranks [0, pairs) on node 0; receivers are
+        # [pairs, 2*pairs) on node 1 (block placement puts the first
+        # `pairs` ranks on node 0 only if pairs <= cores; we place
+        # explicitly through a round-robin-safe mapping below).
+        if library is None:
+            comm = ctx.comm
+            isend = lambda d, p: comm.isend(p, d, tag=0)
+            irecv = lambda s: comm.irecv(s, 0)
+            waitall = comm.waitall
+        else:
+            enc = EncryptedComm(
+                ctx,
+                SecurityConfig(
+                    library=library, key_bits=key_bits, crypto_mode="modeled"
+                ),
+            )
+            isend = lambda d, p: enc.isend(p, d, tag=0)
+            irecv = lambda s: enc.irecv(s, 0)
+            waitall = enc.waitall
+
+        if ctx.rank < pairs:  # sender
+            peer = ctx.rank + pairs
+            # warmup window
+            waitall([isend(peer, payload) for _ in range(window)])
+            irecv(peer).wait()
+            t0 = ctx.now
+            for _ in range(iters):
+                waitall([isend(peer, payload) for _ in range(window)])
+                irecv(peer).wait()
+            elapsed = ctx.now - t0
+            per_pair_rate[ctx.rank] = size * window * iters / elapsed
+        else:  # receiver
+            peer = ctx.rank - pairs
+            for _ in range(iters + 1):
+                waitall([irecv(peer) for _ in range(window)])
+                isend(peer, b"\x00" * 4).wait()
+
+    run_program(nranks, program, network=network, cluster=MULTIPAIR_CLUSTER)
+    return sum(per_pair_rate)

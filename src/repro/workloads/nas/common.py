@@ -1,0 +1,239 @@
+"""NAS proxy infrastructure: skeleton spec, auto-calibration, runner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.encmpi import EncryptedComm, SecurityConfig
+from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
+from repro.simmpi import RankContext, run_program
+
+#: Paper Table IV / VIII unencrypted totals (seconds): calibration
+#: inputs for the compute model (class C, 64 ranks / 8 nodes).
+PAPER_BASELINE_SECONDS = {
+    "ethernet": {
+        "cg": 7.01, "ft": 12.04, "mg": 2.55, "lu": 18.04,
+        "bt": 22.83, "sp": 21.99, "is": 4.06,
+    },
+    "infiniband": {
+        "cg": 6.55, "ft": 10.00, "mg": 3.59, "lu": 18.36,
+        "bt": 24.56, "sp": 24.20, "is": 3.04,
+    },
+}
+
+#: EP is not in the paper's tables (it barely communicates); a nominal
+#: class C / 64-rank runtime for this Xeon generation so paper-scale EP
+#: runs report a meaningful ~0% overhead instead of a 0-second total.
+EP_NOMINAL_SECONDS = 13.0
+
+
+class NasComm:
+    """The communication facade a skeleton uses: baseline or encrypted."""
+
+    def __init__(self, ctx: RankContext, enc: EncryptedComm | None):
+        self.ctx = ctx
+        self.enc = enc
+        self.rank = ctx.rank
+        self.size = ctx.size
+
+    def sendrecv(self, payload: bytes, dest: int, source: int, tag: int) -> bytes:
+        if self.enc is None:
+            data, _status = self.ctx.comm.sendrecv(payload, dest, source, tag, tag)
+        else:
+            data, _status = self.enc.sendrecv(payload, dest, source, tag, tag)
+        return data
+
+    def send(self, payload: bytes, dest: int, tag: int) -> None:
+        (self.enc or self.ctx.comm).send(payload, dest, tag)
+
+    def recv(self, source: int, tag: int) -> bytes:
+        data, _status = (self.enc or self.ctx.comm).recv(source, tag)
+        return data
+
+    def isend(self, payload: bytes, dest: int, tag: int):
+        return (self.enc or self.ctx.comm).isend(payload, dest, tag)
+
+    def irecv(self, source: int, tag: int):
+        return (self.enc or self.ctx.comm).irecv(source, tag)
+
+    def waitall(self, reqs) -> list:
+        return (self.enc or self.ctx.comm).waitall(reqs)
+
+    def alltoall(self, chunks) -> list[bytes]:
+        return (self.enc or self.ctx.comm).alltoall(chunks)
+
+    def alltoallv(self, chunks) -> list[bytes]:
+        return (self.enc or self.ctx.comm).alltoallv(chunks)
+
+    def allreduce_bytes(self, nbytes: int) -> None:
+        """A numeric allreduce of *nbytes* (content irrelevant to timing).
+
+        Encrypted allreduce is not one of §IV's routines — the paper's
+        NAS binaries route it through the encrypted point-to-point
+        layer, which encrypts/decrypts each hop of the recursive
+        doubling.  We run the plain allreduce for the wire time and
+        charge per-hop crypto on this rank's core, matching that cost.
+        """
+        op = lambda a, b: a  # timing skeleton: combining is free vs wire
+        payload = b"\x00" * nbytes
+        if self.enc is not None:
+            hops = max(1, (self.size - 1).bit_length())
+            per_hop = self.enc.profile.encdec_time(nbytes, self.enc.crypto_slowdown)
+            self.ctx.compute(hops * per_hop)
+        self.ctx.comm.allreduce(payload, op)
+
+
+@dataclass(frozen=True)
+class NasBenchmark:
+    """One NAS proxy: name, class-C iteration count, and the skeleton.
+
+    ``skeleton(comm, iteration)`` performs exactly one iteration's
+    communication.  ``payload_kind`` selects the crypto slowdown class:
+    ``"contiguous"`` payloads (vectors, alltoall blocks) encrypt at
+    cache-cold speed, ``"strided"`` ones (stencil boundary faces) pay
+    the additional pack/unpack penalty — see
+    calibration.NAS_COLD_CACHE_FACTOR / NAS_STRIDED_PACK_FACTOR.
+    """
+
+    name: str
+    iterations: int
+    skeleton: Callable[[NasComm, int], None]
+    description: str
+    payload_kind: str = "contiguous"
+
+    def crypto_slowdown(self) -> float:
+        from repro.models.calibration import (
+            NAS_COLD_CACHE_FACTOR,
+            NAS_STRIDED_PACK_FACTOR,
+        )
+
+        if self.payload_kind == "strided":
+            return NAS_STRIDED_PACK_FACTOR
+        if self.payload_kind == "contiguous":
+            return NAS_COLD_CACHE_FACTOR
+        raise ValueError(f"unknown payload kind {self.payload_kind!r}")
+
+
+_REGISTRY: dict[str, NasBenchmark] = {}
+
+
+def register(bench: NasBenchmark) -> NasBenchmark:
+    if bench.name in _REGISTRY:
+        raise ValueError(f"duplicate NAS benchmark {bench.name!r}")
+    _REGISTRY[bench.name] = bench
+    return bench
+
+
+def get_benchmark(name: str) -> NasBenchmark:
+    from repro.workloads.nas import bt, cg, ep, ft, is_, lu, mg, sp  # noqa: F401
+
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown NAS benchmark {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def NAS_BENCHMARKS() -> list[str]:
+    from repro.workloads.nas import bt, cg, ep, ft, is_, lu, mg, sp  # noqa: F401
+
+    return sorted(_REGISTRY)
+
+
+@dataclass(frozen=True)
+class NasResult:
+    benchmark: str
+    network: str
+    library: str | None
+    total_seconds: float
+    comm_seconds: float
+    compute_seconds: float
+    iterations: int
+
+
+_comm_time_cache: dict[tuple, float] = {}
+
+
+def _simulate_comm_time(
+    name: str,
+    network: str,
+    library: str | None,
+    nranks: int,
+    cluster: ClusterSpec,
+    sim_iters: int,
+) -> float:
+    """Virtual seconds for `sim_iters` iterations of pure communication."""
+    bench = get_benchmark(name)
+
+    def program(ctx):
+        enc = None
+        if library is not None:
+            enc = EncryptedComm(
+                ctx,
+                SecurityConfig(library=library, crypto_mode="modeled"),
+                crypto_slowdown=bench.crypto_slowdown(),
+            )
+        comm = NasComm(ctx, enc)
+        ctx.comm.barrier()
+        t0 = ctx.now
+        for it in range(sim_iters):
+            bench.skeleton(comm, it)
+        ctx.comm.barrier()
+        return ctx.now - t0
+
+    result = run_program(nranks, program, network=network, cluster=cluster)
+    return max(result.results)
+
+
+def run_nas(
+    name: str,
+    *,
+    network: str = "ethernet",
+    library: str | None = None,
+    nranks: int = 64,
+    cluster: ClusterSpec = PAPER_CLUSTER,
+    sim_iters: int = 1,
+) -> NasResult:
+    """Predicted class-C total time for one benchmark configuration.
+
+    The unencrypted (library=None) total is calibrated to the paper's
+    baseline by construction; encrypted totals are predictions.
+    """
+    bench = get_benchmark(name)
+    key = (name, network, library, nranks, cluster, sim_iters)
+    if key not in _comm_time_cache:
+        _comm_time_cache[key] = _simulate_comm_time(
+            name, network, library, nranks, cluster, sim_iters
+        )
+    comm_per_iter = _comm_time_cache[key] / sim_iters
+    comm_total = comm_per_iter * bench.iterations
+
+    # Compute budget: calibrated from the *baseline* run at the paper's
+    # scale; reused unchanged for encrypted runs (encryption does not
+    # change the numerical work).
+    base_key = (name, network, None, nranks, cluster, sim_iters)
+    if base_key not in _comm_time_cache:
+        _comm_time_cache[base_key] = _simulate_comm_time(
+            name, network, None, nranks, cluster, sim_iters
+        )
+    base_comm_total = _comm_time_cache[base_key] / sim_iters * bench.iterations
+    paper_total = PAPER_BASELINE_SECONDS[network].get(name.lower())
+    if paper_total is None and name.lower() == "ep":
+        paper_total = EP_NOMINAL_SECONDS
+    if paper_total is not None and nranks == 64:
+        compute_total = max(0.0, paper_total - base_comm_total)
+    else:
+        # Off-paper configurations (tests, scalability sweeps): charge a
+        # nominal compute equal to the baseline communication time.
+        compute_total = base_comm_total
+    return NasResult(
+        benchmark=name.lower(),
+        network=network,
+        library=library,
+        total_seconds=compute_total + comm_total,
+        comm_seconds=comm_total,
+        compute_seconds=compute_total,
+        iterations=bench.iterations,
+    )

@@ -1,0 +1,57 @@
+"""Process-grid helpers shared by the NAS skeletons."""
+
+from __future__ import annotations
+
+import math
+
+
+def grid2d(p: int) -> tuple[int, int]:
+    """Factor p into (rows, cols), rows <= cols, as square as possible.
+
+    Matches the NAS convention (npcols >= nprows, both powers of two
+    when p is a power of two).
+    """
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    rows = 1
+    for r in range(int(math.isqrt(p)), 0, -1):
+        if p % r == 0:
+            rows = r
+            break
+    return rows, p // rows
+
+
+def grid3d(p: int) -> tuple[int, int, int]:
+    """Factor p into (x, y, z), as cubic as possible (MG convention)."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    best = (1, 1, p)
+    best_score = p * p
+    for a in range(1, int(round(p ** (1 / 3))) + 2):
+        if p % a:
+            continue
+        rest = p // a
+        for b in range(a, int(math.isqrt(rest)) + 1):
+            if rest % b:
+                continue
+            c = rest // b
+            score = (c - a) ** 2 + (c - b) ** 2 + (b - a) ** 2
+            if score < best_score:
+                best, best_score = (a, b, c), score
+    return best
+
+
+def coords2d(rank: int, rows: int, cols: int) -> tuple[int, int]:
+    return rank // cols, rank % cols
+
+
+def rank2d(i: int, j: int, rows: int, cols: int) -> int:
+    return (i % rows) * cols + (j % cols)
+
+
+def coords3d(rank: int, nx: int, ny: int, nz: int) -> tuple[int, int, int]:
+    return rank % nx, (rank // nx) % ny, rank // (nx * ny)
+
+
+def rank3d(x: int, y: int, z: int, nx: int, ny: int, nz: int) -> int:
+    return (x % nx) + (y % ny) * nx + (z % nz) * nx * ny

@@ -1,0 +1,77 @@
+"""AEAD interface, registry, and backend equivalence tests."""
+
+import os
+
+import pytest
+
+from repro.crypto.aead import WIRE_OVERHEAD, available_backends, get_aead
+from repro.crypto.backends import HAVE_OPENSSL, PureAEAD
+from repro.crypto.errors import AuthenticationError, CryptoError, KeyFormatError
+
+KEY = bytes(range(32))
+NONCE = bytes(12)
+
+
+def test_registry_lists_pure():
+    assert "pure" in available_backends()
+
+
+def test_auto_prefers_openssl_when_available():
+    aead = get_aead(KEY, "auto")
+    if HAVE_OPENSSL:
+        assert aead.name == "openssl"
+    else:
+        assert aead.name == "pure"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(CryptoError, match="unknown AEAD backend"):
+        get_aead(KEY, "enigma")
+
+
+@pytest.mark.parametrize("backend", ["pure"] + (["openssl"] if HAVE_OPENSSL else []))
+def test_seal_open_roundtrip(backend):
+    aead = get_aead(KEY, backend)
+    ct = aead.seal(NONCE, b"payload", b"hdr")
+    assert aead.open(NONCE, ct, b"hdr") == b"payload"
+
+
+@pytest.mark.parametrize("backend", ["pure"] + (["openssl"] if HAVE_OPENSSL else []))
+def test_tamper_detection(backend):
+    aead = get_aead(KEY, backend)
+    ct = bytearray(aead.seal(NONCE, b"payload"))
+    ct[0] ^= 1
+    with pytest.raises(AuthenticationError):
+        aead.open(NONCE, bytes(ct))
+
+
+@pytest.mark.skipif(not HAVE_OPENSSL, reason="cryptography not installed")
+def test_backends_byte_identical():
+    for _ in range(10):
+        key = os.urandom(32)
+        nonce = os.urandom(12)
+        pt = os.urandom(77)
+        aad = os.urandom(13)
+        assert get_aead(key, "pure").seal(nonce, pt, aad) == get_aead(
+            key, "openssl"
+        ).seal(nonce, pt, aad)
+
+
+def test_wire_size_is_plus_28():
+    """Algorithm 1: an ℓ-byte message becomes ℓ+28 bytes on the wire."""
+    aead = get_aead(KEY)
+    assert WIRE_OVERHEAD == 28
+    assert aead.wire_size(0) == 28
+    assert aead.wire_size(2**21) == 2**21 + 28
+
+
+@pytest.mark.parametrize("key_len,bits", [(16, 128), (24, 192), (32, 256)])
+def test_key_bits(key_len, bits):
+    assert get_aead(bytes(key_len)).key_bits == bits
+
+
+def test_bad_key_rejected():
+    with pytest.raises(KeyFormatError):
+        get_aead(bytes(20))
+    with pytest.raises(KeyFormatError):
+        PureAEAD("not-bytes")  # type: ignore[arg-type]

@@ -1,0 +1,113 @@
+"""The §II attacks must *work* against the broken schemes and *fail*
+against AES-GCM."""
+
+import pytest
+
+from repro.crypto import attacks
+from repro.crypto.errors import AuthenticationError
+from repro.crypto.gcm import AESGCM
+from repro.crypto.modes import CBC, CTR, ECB
+from repro.crypto.otp import BigKeyPad, TrueOneTimePad, xor_bytes
+
+KEY = bytes(range(32))
+
+
+def test_ecb_block_repetition_leaks_structure():
+    ecb = ECB(KEY)
+    # A "matrix row" with repeated records — typical HPC payload shape.
+    plaintext = (b"\x00" * 16 + b"\x01" * 16) * 4
+    repeats = attacks.ecb_block_repetition(ecb, plaintext)
+    assert repeats, "ECB must leak repeated blocks"
+    assert max(repeats.values()) >= 4
+
+
+def test_gcm_shows_no_block_repetition():
+    gcm = AESGCM(KEY)
+    plaintext = (b"\x00" * 16 + b"\x01" * 16) * 4
+    ct = gcm.encrypt(bytes(12), plaintext)[:-16]
+    blocks = [ct[i : i + 16] for i in range(0, len(ct), 16)]
+    assert len(set(blocks)) == len(blocks)
+
+
+def test_ecb_prefix_equality_oracle():
+    ecb = ECB(KEY)
+    assert attacks.ecb_prefix_equality_oracle(
+        ecb, b"SALARY=100000...rest-a", b"SALARY=100000...rest-b"
+    )
+    assert not attacks.ecb_prefix_equality_oracle(
+        ecb, b"SALARY=100000...rest-a", b"SALARY=200000...rest-b"
+    )
+
+
+def test_two_time_pad_overlap_recovers_plaintext_xor():
+    pad, _ = attacks.force_pad_overlap(key_len=256, msg_len=200)
+    msg_a = bytes(range(200))
+    msg_b = bytes(200 - i for i in range(200))
+    leaked = attacks.two_time_pad_xor(pad, msg_a, msg_b)
+    assert leaked is not None, "pads must overlap once traffic exceeds the key"
+    # Verify the leak equals the true plaintext XOR over the overlap
+    # (second message wraps to offset 0; overlap is [0, 144) of msg_b
+    # against [0+? ...]): recompute from ground truth instead.
+    # Offsets: msg_a at 0..200, msg_b wraps to 0..200 -> overlap 0..200? No:
+    # msg_b starts at 0 after wrap, so overlap = [0,200) of both messages'
+    # pad range; the overlapping ciphertext segments XOR to P_a ^ P_b there.
+    truth = xor_bytes(msg_a, msg_b)
+    assert leaked in (truth, truth[: len(leaked)])
+
+
+def test_no_overlap_returns_none():
+    pad = BigKeyPad(key_len=1000)
+    assert attacks.two_time_pad_xor(pad, b"a" * 100, b"b" * 100) is None
+
+
+def test_true_otp_never_overlaps():
+    otp = TrueOneTimePad()
+    pid1, c1 = otp.encrypt(b"hello")
+    pid2, c2 = otp.encrypt(b"hello")
+    assert pid1 != pid2
+    assert otp.decrypt(pid1, c1) == b"hello"
+    assert otp.decrypt(pid2, c2) == b"hello"
+    # Equal plaintexts yield (almost surely) different ciphertexts.
+    assert c1 != c2 or c1 == c2  # can't assert randomness; assert decrypt only
+
+
+def test_cbc_bitflip_forges_chosen_plaintext():
+    cbc = CBC(KEY)
+    # 3 blocks; attacker flips block 1 of the plaintext ("pay" amount).
+    plaintext = b"HEADERBLOCK00000" + b"AMOUNT=000000100" + b"TRAILERBLOCK0000"
+    forged = attacks.cbc_bitflip(
+        cbc,
+        plaintext,
+        target_block=1,
+        original=b"AMOUNT=000000100",
+        desired=b"AMOUNT=999999999",
+    )
+    assert b"AMOUNT=999999999" in forged
+    assert forged != plaintext
+
+
+def test_ctr_bitflip_is_surgical():
+    ctr = CTR(KEY)
+    forged = attacks.ctr_bitflip(ctr, b"transfer $100", position=10, delta=ord("1") ^ ord("9"))
+    assert forged == b"transfer $900"
+
+
+def test_gcm_rejects_bitflips():
+    gcm = AESGCM(KEY)
+    nonce = bytes(12)
+    ct = bytearray(gcm.encrypt(nonce, b"transfer $100"))
+    ct[10] ^= 0x08
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(nonce, bytes(ct))
+
+
+def test_replay_transcript_duplicates_first_message():
+    transcript = [b"c1", b"c2"]
+    replayed = attacks.replay_capture_and_resend(transcript)
+    assert replayed == [b"c1", b"c2", b"c1"]
+    # Plain GCM accepts the replayed copy — motivating encmpi.replay.
+    gcm = AESGCM(KEY)
+    nonce = bytes(12)
+    wire = gcm.encrypt(nonce, b"launch")
+    assert gcm.decrypt(nonce, wire) == b"launch"
+    assert gcm.decrypt(nonce, wire) == b"launch"  # replay accepted!

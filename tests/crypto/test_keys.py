@@ -1,0 +1,116 @@
+"""Key generation / HMAC / HKDF tests (RFC 4231 + RFC 5869 vectors)."""
+
+import hashlib
+import hmac as stdlib_hmac
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.errors import KeyFormatError
+from repro.crypto.keys import (
+    HARDCODED_KEY_128,
+    HARDCODED_KEY_256,
+    derive_session_key,
+    generate_key,
+    hkdf,
+    hkdf_expand,
+    hkdf_extract,
+    hmac_sha256,
+)
+
+
+def test_hardcoded_keys_shapes():
+    assert len(HARDCODED_KEY_256) == 32
+    assert len(HARDCODED_KEY_128) == 16
+    assert HARDCODED_KEY_128 == HARDCODED_KEY_256[:16]
+
+
+@pytest.mark.parametrize("bits,length", [(128, 16), (192, 24), (256, 32)])
+def test_generate_key_lengths(bits, length):
+    assert len(generate_key(bits)) == length
+
+
+def test_generate_key_bad_bits():
+    with pytest.raises(KeyFormatError):
+        generate_key(512)
+
+
+def test_hmac_rfc4231_case_1():
+    key = b"\x0b" * 20
+    data = b"Hi There"
+    expected = bytes.fromhex(
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    )
+    assert hmac_sha256(key, data) == expected
+
+
+def test_hmac_rfc4231_case_2():
+    assert hmac_sha256(b"Jefe", b"what do ya want for nothing?") == bytes.fromhex(
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )
+
+
+def test_hmac_rfc4231_long_key():
+    # Case 6: key longer than the block size gets hashed first.
+    key = b"\xaa" * 131
+    data = b"Test Using Larger Than Block-Size Key - Hash Key First"
+    expected = bytes.fromhex(
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    )
+    assert hmac_sha256(key, data) == expected
+
+
+@settings(max_examples=50)
+@given(st.binary(max_size=200), st.binary(max_size=200))
+def test_hmac_matches_stdlib(key, msg):
+    assert hmac_sha256(key, msg) == stdlib_hmac.new(key, msg, hashlib.sha256).digest()
+
+
+def test_hkdf_rfc5869_case_1():
+    ikm = b"\x0b" * 22
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    prk = hkdf_extract(salt, ikm)
+    assert prk == bytes.fromhex(
+        "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+    )
+    okm = hkdf_expand(prk, info, 42)
+    assert okm == bytes.fromhex(
+        "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_hkdf_rfc5869_case_3_empty_salt_info():
+    ikm = b"\x0b" * 22
+    okm = hkdf(ikm, salt=b"", info=b"", length=42)
+    assert okm == bytes.fromhex(
+        "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_hkdf_expand_limits():
+    prk = hkdf_extract(b"", b"ikm")
+    with pytest.raises(ValueError):
+        hkdf_expand(prk, b"", 0)
+    with pytest.raises(ValueError):
+        hkdf_expand(prk, b"", 255 * 32 + 1)
+
+
+def test_derive_session_key_is_deterministic_and_context_bound():
+    secret = os.urandom(32)
+    k1 = derive_session_key(secret, "comm-world/epoch-0")
+    k2 = derive_session_key(secret, "comm-world/epoch-0")
+    k3 = derive_session_key(secret, "comm-world/epoch-1")
+    assert k1 == k2
+    assert k1 != k3
+    assert len(k1) == 32
+    assert len(derive_session_key(secret, "c", bits=128)) == 16
+
+
+def test_derive_session_key_bad_bits():
+    with pytest.raises(KeyFormatError):
+        derive_session_key(b"s", "c", bits=100)

@@ -1,0 +1,97 @@
+"""Nonce discipline tests."""
+
+import pytest
+
+from repro.crypto.errors import NonceReuseError
+from repro.crypto.nonces import (
+    NONCE_SIZE,
+    CounterNonces,
+    NonceAuditor,
+    RandomNonces,
+    make_nonce_source,
+)
+
+
+def test_random_nonces_are_12_bytes_and_distinct():
+    src = RandomNonces()
+    nonces = {src.next() for _ in range(100)}
+    assert len(nonces) == 100
+    assert all(len(n) == NONCE_SIZE for n in nonces)
+
+
+def test_random_nonces_injectable_rng():
+    calls = []
+
+    def fake(n):
+        calls.append(n)
+        return bytes(n)
+
+    src = RandomNonces(rng=fake)
+    assert src.next() == bytes(12)
+    assert calls == [12]
+
+
+def test_counter_nonces_embed_sender_and_count():
+    src = CounterNonces(sender_id=7)
+    n0, n1 = src.next(), src.next()
+    assert n0 == (7).to_bytes(4, "big") + (0).to_bytes(8, "big")
+    assert n1 == (7).to_bytes(4, "big") + (1).to_bytes(8, "big")
+
+
+def test_counter_nonces_distinct_across_senders():
+    a = CounterNonces(sender_id=1).next()
+    b = CounterNonces(sender_id=2).next()
+    assert a != b
+
+
+def test_counter_sender_id_range_checked():
+    with pytest.raises(ValueError):
+        CounterNonces(sender_id=-1)
+    with pytest.raises(ValueError):
+        CounterNonces(sender_id=2**32)
+
+
+def test_counter_exhaustion_raises():
+    src = CounterNonces()
+    src._counter = 2**64
+    with pytest.raises(NonceReuseError):
+        src.next()
+
+
+def test_auditor_passes_unique_nonces():
+    audit = NonceAuditor(CounterNonces())
+    nonces = [audit.next() for _ in range(10)]
+    assert len(set(nonces)) == 10
+    assert audit.issued == 10
+
+
+def test_auditor_catches_stuck_rng():
+    class Stuck:
+        def next(self):
+            return bytes(12)
+
+    audit = NonceAuditor(Stuck())
+    audit.next()
+    with pytest.raises(NonceReuseError):
+        audit.next()
+
+
+def test_auditor_check_for_receiver_side_replay():
+    audit = NonceAuditor(RandomNonces())
+    audit.check(b"n" * 12)
+    with pytest.raises(NonceReuseError):
+        audit.check(b"n" * 12)
+
+
+def test_factory():
+    assert isinstance(make_nonce_source("random"), RandomNonces)
+    assert isinstance(make_nonce_source("counter", 3), CounterNonces)
+    with pytest.raises(ValueError):
+        make_nonce_source("lottery")
+
+
+def test_iterators():
+    it = iter(CounterNonces())
+    assert next(it) != next(it)
+    rit = iter(RandomNonces())
+    assert len(next(rit)) == NONCE_SIZE

@@ -1,0 +1,68 @@
+"""Tests for the flawed big-key pad and the true OTP."""
+
+import pytest
+
+from repro.crypto.errors import CryptoError
+from repro.crypto.otp import BigKeyPad, TrueOneTimePad, xor_bytes
+
+
+def test_xor_bytes_roundtrip():
+    a, b = b"hello!", b"\x01\x02\x03\x04\x05\x06"
+    assert xor_bytes(xor_bytes(a, b), b) == a
+
+
+def test_xor_bytes_length_mismatch():
+    with pytest.raises(ValueError):
+        xor_bytes(b"ab", b"abc")
+
+
+def test_bigkey_roundtrip():
+    pad = BigKeyPad(key_len=1024)
+    off, ct = pad.encrypt(b"secret data")
+    assert pad.decrypt(off, ct) == b"secret data"
+    assert ct != b"secret data"
+
+
+def test_bigkey_offsets_advance_sequentially():
+    pad = BigKeyPad(key_len=1024)
+    off1, _ = pad.encrypt(b"a" * 100)
+    off2, _ = pad.encrypt(b"b" * 100)
+    assert (off1, off2) == (0, 100)
+
+
+def test_bigkey_wraps_and_reuses_pad():
+    """The VAN-MPICH2 bug: traffic beyond the key length reuses pad bytes."""
+    pad = BigKeyPad(key_len=150)
+    off1, _ = pad.encrypt(b"x" * 100)
+    off2, _ = pad.encrypt(b"y" * 100)
+    assert off1 == 0
+    assert off2 == 0  # wrapped: full overlap with message 1
+
+
+def test_bigkey_message_longer_than_key_rejected():
+    pad = BigKeyPad(key_len=64)
+    with pytest.raises(CryptoError):
+        pad.encrypt(b"z" * 65)
+
+
+def test_bigkey_decrypt_bad_offset_rejected():
+    pad = BigKeyPad(key_len=64)
+    with pytest.raises(CryptoError):
+        pad.decrypt(60, b"123456")
+    with pytest.raises(CryptoError):
+        pad.decrypt(-1, b"1")
+
+
+def test_bigkey_empty_key_rejected():
+    with pytest.raises(CryptoError):
+        BigKeyPad(big_key=b"")
+
+
+def test_true_otp_roundtrip_and_unknown_pad():
+    otp = TrueOneTimePad()
+    pid, ct = otp.encrypt(b"msg")
+    assert otp.decrypt(pid, ct) == b"msg"
+    with pytest.raises(CryptoError):
+        otp.decrypt(99, ct)
+    with pytest.raises(CryptoError):
+        otp.decrypt(pid, ct + b"x")

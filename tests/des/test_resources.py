@@ -1,0 +1,114 @@
+"""Unit tests for FIFO resources in virtual time."""
+
+import pytest
+
+from repro.des.process import Scheduler
+from repro.des.resources import Resource
+
+
+def test_uncontended_acquire_is_instant():
+    sched = Scheduler()
+    core = Resource(sched, capacity=1, name="core")
+    times = []
+
+    def prog():
+        core.acquire()
+        times.append(sched.now)
+        core.release()
+
+    sched.spawn(prog)
+    sched.run()
+    assert times == [0.0]
+
+
+def test_contended_resource_serializes_holders():
+    sched = Scheduler()
+    core = Resource(sched, capacity=1)
+    log = []
+
+    def prog(name):
+        with core:
+            log.append((name, "in", sched.now))
+            sched.current().sleep(2.0)
+        log.append((name, "out", sched.now))
+
+    sched.spawn(prog, "a", name="a")
+    sched.spawn(prog, "b", name="b")
+    sched.run()
+    assert log == [
+        ("a", "in", 0.0),
+        ("a", "out", 2.0),
+        ("b", "in", 2.0),
+        ("b", "out", 4.0),
+    ]
+
+
+def test_capacity_two_runs_two_concurrently():
+    sched = Scheduler()
+    pool = Resource(sched, capacity=2)
+    done = []
+
+    def prog(name):
+        pool.execute(3.0)
+        done.append((name, sched.now))
+
+    for name in ("a", "b", "c"):
+        sched.spawn(prog, name, name=name)
+    sched.run()
+    assert done == [("a", 3.0), ("b", 3.0), ("c", 6.0)]
+
+
+def test_fifo_grant_order():
+    sched = Scheduler()
+    res = Resource(sched, capacity=1)
+    order = []
+
+    def holder():
+        with res:
+            sched.current().sleep(1.0)
+
+    def waiter(name, arrive):
+        sched.current().sleep(arrive)
+        with res:
+            order.append(name)
+
+    sched.spawn(holder)
+    sched.spawn(waiter, "first", 0.1)
+    sched.spawn(waiter, "second", 0.2)
+    sched.spawn(waiter, "third", 0.3)
+    sched.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_release_idle_resource_is_error():
+    sched = Scheduler()
+    res = Resource(sched, capacity=1)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_invalid_capacity_rejected():
+    sched = Scheduler()
+    with pytest.raises(ValueError):
+        Resource(sched, capacity=0)
+
+
+def test_in_use_and_queued_counters():
+    sched = Scheduler()
+    res = Resource(sched, capacity=1)
+    snapshots = []
+
+    def holder():
+        with res:
+            sched.current().sleep(1.0)
+            snapshots.append((res.in_use, res.queued))
+
+    def waiter():
+        sched.current().sleep(0.5)
+        with res:
+            snapshots.append((res.in_use, res.queued))
+
+    sched.spawn(holder)
+    sched.spawn(waiter)
+    sched.run()
+    assert snapshots == [(1, 1), (1, 0)]

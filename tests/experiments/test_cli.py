@@ -1,0 +1,68 @@
+"""CLI tests (fast paths only)."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table1" in out
+    assert "fig15" in out
+    assert "Table I" in out
+
+
+def test_run_single_fast_experiment(capsys):
+    assert main(["run", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "Encryption-decryption throughput" in out
+    assert "BoringSSL" in out
+    assert "(paper" in out
+
+
+def test_run_table1(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "(paper) Unencrypted" in out
+
+
+def test_run_deduplicates(capsys):
+    assert main(["run", "fig2", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("--- running fig2") == 1
+
+
+def test_run_with_output_dir(tmp_path, capsys):
+    import json
+
+    assert main(["run", "fig2", "--output", str(tmp_path)]) == 0
+    capsys.readouterr()
+    assert (tmp_path / "fig2.txt").exists()
+    data = json.loads((tmp_path / "fig2.json").read_text())
+    assert data["kind"] == "figure"
+    assert data["paper_ref"] == "Fig. 2"
+    assert any(s["label"] == "BoringSSL" for s in data["series"])
+    assert data["headlines"]
+
+
+def test_run_table_output_json(tmp_path, capsys):
+    import json
+
+    assert main(["run", "table1", "--output", str(tmp_path)]) == 0
+    capsys.readouterr()
+    data = json.loads((tmp_path / "table1.json").read_text())
+    assert data["kind"] == "table"
+    assert data["columns"] == ["1B", "16B", "256B", "1KB"]
+    labels = [r["label"] for r in data["rows"]]
+    assert "Unencrypted" in labels and "  (paper) CryptoPP" in labels
+
+
+def test_run_unknown_experiment():
+    with pytest.raises(ValueError):
+        main(["run", "table42"])
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,34 @@
+"""CLI tests for the nas/analyze subcommands."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_nas_subcommand_ep(capsys):
+    # EP is the cheap one: near-zero comm, nominal 13 s baseline.
+    assert main(["nas", "ep", "--library", "boringssl"]) == 0
+    out = capsys.readouterr().out
+    assert "EP" in out
+    assert "baseline" in out
+    assert "+0.0" in out  # ~0% overhead
+
+
+def test_nas_subcommand_unknown_benchmark():
+    with pytest.raises(ValueError):
+        main(["nas", "dc"])
+
+
+def test_analyze_subcommand(capsys):
+    assert main(["analyze", "2MB", "--network", "infiniband"]) == 0
+    out = capsys.readouterr().out
+    assert "2MB over infiniband" in out
+    assert "encryption" in out
+    assert "+219" in out  # the paper's 215.2% headline region
+
+
+def test_analyze_ethernet_small(capsys):
+    assert main(["analyze", "256B", "--library", "libsodium"]) == 0
+    out = capsys.readouterr().out
+    assert "256B over ethernet" in out
+    assert "largest size" in out

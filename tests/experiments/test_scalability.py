@@ -1,0 +1,21 @@
+"""Scalability-grid experiment tests (scaled-down via direct workload
+calls; the full grid runs in the registry artifact)."""
+
+from repro.experiments.scalability import SETTINGS, scalability
+
+
+def test_settings_match_paper_methodology():
+    labels = [label for label, _n, _c in SETTINGS]
+    assert labels == ["4r/4n", "16r/4n", "16r/8n", "64r/8n"]
+    for _label, nranks, cluster in SETTINGS:
+        cluster.validate_ranks(nranks)
+
+
+def test_scalability_artifact_shape():
+    art = scalability(op="bcast", size=4096, network="ethernet")
+    out = art.body.render()
+    assert "4r/4n" in out and "64r/8n" in out
+    assert "boringssl ovh%" in out
+    # Encrypted rows contain positive overheads at every setting.
+    for label, cells in art.body.rows[1:]:
+        assert all(float(c.replace(",", "")) > 0 for c in cells), label

@@ -1,0 +1,64 @@
+"""Cluster shape / rank placement tests."""
+
+import pytest
+
+from repro.models.cpu import PAPER_CLUSTER, TWO_NODE_CLUSTER, ClusterSpec
+
+
+def test_paper_cluster_shape():
+    assert PAPER_CLUSTER.nodes == 8
+    assert PAPER_CLUSTER.cores_per_node == 8
+    assert PAPER_CLUSTER.total_cores == 64
+
+
+def test_block_placement_64_ranks():
+    # 64 ranks / 8 nodes: ranks 0-7 on node 0, 8-15 on node 1, ...
+    assert PAPER_CLUSTER.node_of(0, 64) == 0
+    assert PAPER_CLUSTER.node_of(7, 64) == 0
+    assert PAPER_CLUSTER.node_of(8, 64) == 1
+    assert PAPER_CLUSTER.node_of(63, 64) == 7
+
+
+def test_block_placement_16_ranks_8_nodes():
+    # The paper's 16 rank/8 node setting: 2 ranks per node.
+    nodes = [PAPER_CLUSTER.node_of(r, 16) for r in range(16)]
+    assert nodes == [0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7]
+
+
+def test_block_placement_4_ranks_8_nodes():
+    # 4 rank/4 node setting (one rank per node on the first 4 nodes).
+    nodes = [PAPER_CLUSTER.node_of(r, 4) for r in range(4)]
+    assert nodes == [0, 1, 2, 3]
+
+
+def test_block_placement_uneven():
+    spec = ClusterSpec(nodes=3, cores_per_node=4)
+    nodes = [spec.node_of(r, 7) for r in range(7)]
+    # 7 ranks over 3 nodes: 3 + 2 + 2.
+    assert nodes == [0, 0, 0, 1, 1, 2, 2]
+
+
+def test_roundrobin_placement():
+    nodes = [PAPER_CLUSTER.node_of(r, 16, "roundrobin") for r in range(16)]
+    assert nodes == [r % 8 for r in range(16)]
+
+
+def test_ranks_on_node():
+    assert PAPER_CLUSTER.ranks_on_node(1, 64) == list(range(8, 16))
+    assert TWO_NODE_CLUSTER.ranks_on_node(1, 2) == [1]
+
+
+def test_oversubscription_rejected():
+    with pytest.raises(ValueError, match="oversubscribe"):
+        PAPER_CLUSTER.validate_ranks(65)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ClusterSpec(nodes=0, cores_per_node=8)
+    with pytest.raises(ValueError):
+        PAPER_CLUSTER.node_of(64, 64)
+    with pytest.raises(ValueError):
+        PAPER_CLUSTER.node_of(0, 0)
+    with pytest.raises(ValueError):
+        PAPER_CLUSTER.node_of(0, 16, "random")

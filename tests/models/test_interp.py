@@ -1,0 +1,86 @@
+"""Log-log interpolation tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.interp import LogLogCurve
+
+
+def test_exact_anchor_values():
+    curve = LogLogCurve({1: 10.0, 100: 1000.0})
+    assert curve(1) == pytest.approx(10.0)
+    assert curve(100) == pytest.approx(1000.0)
+
+
+def test_power_law_interpolation():
+    # y = x^2 through (1,1) and (100,10000): log-log linear.
+    curve = LogLogCurve({1: 1.0, 10000: 1e8})
+    assert curve(10) == pytest.approx(100.0, rel=1e-9)
+    assert curve(100) == pytest.approx(10000.0, rel=1e-9)
+
+
+def test_clamping_outside_range():
+    curve = LogLogCurve({10: 5.0, 100: 50.0})
+    assert curve(1) == 5.0
+    assert curve(1e9) == 50.0
+
+
+def test_single_point_curve_is_constant():
+    curve = LogLogCurve({7: 3.0})
+    assert curve(1) == curve(7) == curve(100) == 3.0
+
+
+def test_sequence_input():
+    curve = LogLogCurve([(1, 1.0), (10, 10.0)])
+    assert curve(3) == pytest.approx(3.0, rel=1e-9)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LogLogCurve({})
+    with pytest.raises(ValueError):
+        LogLogCurve({0: 1.0})
+    with pytest.raises(ValueError):
+        LogLogCurve({1: 0.0})
+    with pytest.raises(ValueError):
+        LogLogCurve([(1, 1.0), (1, 2.0)])
+    with pytest.raises(ValueError):
+        LogLogCurve({1: 1.0})(0)
+
+
+def test_anchors_property():
+    curve = LogLogCurve({10: 1.0, 1: 2.0})
+    assert curve.anchors == [(1, 2.0), (10, 1.0)]
+
+
+@settings(max_examples=100)
+@given(
+    anchors=st.dictionaries(
+        st.integers(1, 10**7),
+        st.floats(1e-3, 1e9),
+        min_size=2,
+        max_size=8,
+    ),
+    x=st.floats(0.5, 2e7),
+)
+def test_interpolation_stays_within_bracket(anchors, x):
+    """Monotone-bracket property: interpolated values never leave the
+    range of the two neighbouring anchors."""
+    curve = LogLogCurve(anchors)
+    xs = sorted(anchors)
+    y = curve(x)
+    assert math.isfinite(y) and y > 0
+    if x <= xs[0]:
+        assert y == anchors[xs[0]]
+    elif x >= xs[-1]:
+        assert y == anchors[xs[-1]]
+    else:
+        import bisect
+
+        i = bisect.bisect_left(xs, x)
+        lo_y, hi_y = anchors[xs[i - 1]], anchors[xs[min(i, len(xs) - 1)]]
+        lo, hi = min(lo_y, hi_y), max(lo_y, hi_y)
+        assert lo * (1 - 1e-9) <= y <= hi * (1 + 1e-9)

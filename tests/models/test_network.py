@@ -1,0 +1,139 @@
+"""Network model tests: calibration anchors and paper identities."""
+
+import pytest
+
+from repro.models.cryptolib import get_profile
+from repro.models.network import ethernet_10g, get_network, infiniband_40g
+from repro.util.units import KiB, MiB
+
+
+def test_factory_aliases():
+    assert get_network("eth").name == "ethernet"
+    assert get_network("ib").name == "infiniband"
+    with pytest.raises(ValueError):
+        get_network("carrier-pigeon")
+
+
+def test_ethernet_pingpong_anchors():
+    net = ethernet_10g()
+    # Table I baseline row: time = size / throughput.
+    assert net.pingpong_oneway_time(1) == pytest.approx(1 / 0.050e6, rel=1e-6)
+    assert net.pingpong_oneway_time(256) == pytest.approx(256 / 7.01e6, rel=1e-6)
+    assert net.pingpong_oneway_time(1 * KiB) == pytest.approx(
+        1024 / 17.03e6, rel=1e-6
+    )
+    # §V-A: 1038 MB/s at 2 MB.
+    assert net.pingpong_oneway_time(2 * MiB) == pytest.approx(
+        2 * MiB / 1038e6, rel=1e-6
+    )
+
+
+def test_infiniband_pingpong_anchors():
+    net = infiniband_40g()
+    assert net.pingpong_oneway_time(1) == pytest.approx(1 / 0.57e6, rel=1e-6)
+    assert net.pingpong_oneway_time(1 * KiB) == pytest.approx(
+        1024 / 272.84e6, rel=1e-6
+    )
+    # §V-B: 3023 MB/s at 2 MB.
+    assert net.pingpong_oneway_time(2 * MiB) == pytest.approx(
+        2 * MiB / 3023e6, rel=1e-6
+    )
+
+
+def test_infiniband_far_faster_than_ethernet_for_large():
+    eth, ib = ethernet_10g(), infiniband_40g()
+    ratio = eth.pingpong_oneway_time(2 * MiB) / ib.pingpong_oneway_time(2 * MiB)
+    assert ratio == pytest.approx(3023 / 1038, rel=1e-3)
+
+
+def test_paper_identity_ethernet_2mb_overhead():
+    """§V-A: BoringSSL enc-dec at 2 MB is ~1.32x baseline bandwidth, so
+    encrypted ping-pong should be ~1.76x slower (78.3% overhead)."""
+    net = ethernet_10g()
+    prof = get_profile("boringssl", "gcc")
+    base = net.pingpong_oneway_time(2 * MiB)
+    enc = base + prof.encdec_time(2 * MiB)
+    overhead = (enc - base) / base
+    assert overhead == pytest.approx(0.783, abs=0.08)
+
+
+def test_paper_identity_infiniband_2mb_overhead():
+    """§V-B: 46% bandwidth ratio => ~3.17x slower (215.2% overhead)."""
+    net = infiniband_40g()
+    prof = get_profile("boringssl", "mvapich")
+    base = net.pingpong_oneway_time(2 * MiB)
+    enc = base + prof.encdec_time(2 * MiB)
+    overhead = (enc - base) / base
+    assert overhead == pytest.approx(2.152, abs=0.15)
+
+
+def test_paper_identity_ethernet_256b_libsodium():
+    """§V-A: Libsodium has just ~5.89% overhead at 256 B on Ethernet."""
+    net = ethernet_10g()
+    prof = get_profile("libsodium", "gcc")
+    base = net.pingpong_oneway_time(256)
+    overhead = prof.encdec_time(256) / base
+    assert overhead == pytest.approx(0.0589, abs=0.03)
+
+
+def test_paper_identity_infiniband_256b_boringssl():
+    """§V-B: BoringSSL has ~80.93% overhead at 256 B on InfiniBand."""
+    net = infiniband_40g()
+    prof = get_profile("boringssl", "mvapich")
+    base = net.pingpong_oneway_time(256)
+    overhead = prof.encdec_time(256) / base
+    assert overhead == pytest.approx(0.809, abs=0.25)
+
+
+def test_proto_delay_nonnegative_everywhere():
+    for net in (ethernet_10g(), infiniband_40g()):
+        for size in (1, 16, 256, 1 * KiB, 16 * KiB, 64 * KiB, 1 * MiB, 2 * MiB, 4 * MiB):
+            assert net.proto_delay(size) >= 0.0, (net.name, size)
+
+
+def test_decomposition_reconstructs_pingpong_time():
+    """o_send + L + proto + s/B_stream + o_recv (+rendezvous) must equal
+    the calibrated one-way time at every anchor size."""
+    for net in (ethernet_10g(), infiniband_40g()):
+        for size in (1, 256, 1 * KiB, 16 * KiB, 256 * KiB, 2 * MiB):
+            t = (
+                net.send_overhead(size)
+                + net.nic_service_time(1)
+                + net.latency
+                + net.proto_delay(size)
+                + max(size, 1) / net.stream_bandwidth(size)
+                + net.recv_overhead(size)
+            )
+            if size > net.eager_threshold:
+                t += net.rendezvous_handshake()
+            assert t == pytest.approx(net.pingpong_oneway_time(size), rel=1e-6), (
+                net.name,
+                size,
+            )
+
+
+def test_stream_beats_pingpong_bandwidth_mid_sizes():
+    """Pipelining pays: per-stream bandwidth exceeds solitary-message
+    effective bandwidth at mid sizes (why multi-pair saturates early)."""
+    for net in (ethernet_10g(), infiniband_40g()):
+        for size in (1 * KiB, 16 * KiB):
+            solitary = size / net.pingpong_oneway_time(size)
+            assert net.stream_bandwidth(size) > solitary
+
+
+def test_eager_thresholds():
+    assert ethernet_10g().is_eager(64 * KiB)
+    assert not ethernet_10g().is_eager(64 * KiB + 1)
+    assert infiniband_40g().is_eager(8 * KiB)
+    assert not infiniband_40g().is_eager(8 * KiB + 1)
+
+
+def test_nic_contention_only_on_infiniband():
+    eth, ib = ethernet_10g(), infiniband_40g()
+    assert eth.nic_service_time(8) == eth.nic_service_time(1)
+    assert ib.nic_service_time(8) > ib.nic_service_time(4) == ib.nic_service_time(1)
+
+
+def test_shm_path_much_faster_than_network():
+    for net in (ethernet_10g(), infiniband_40g()):
+        assert net.shm_oneway_time(16 * KiB) < net.pingpong_oneway_time(16 * KiB)

@@ -1,0 +1,77 @@
+"""Unit tests for the fault-injection primitives."""
+
+import pytest
+
+from repro.simmpi.faults import (
+    FaultAction,
+    FaultInjector,
+    _flip_bit,
+    corrupt_every_nth,
+    target_route,
+)
+from repro.simmpi.message import Envelope, OpaquePayload
+
+
+def _env(payload=b"\x00" * 8, src=0, dst=1):
+    return Envelope(src=src, dst=dst, tag=0, comm_id=0, payload=payload)
+
+
+def test_flip_bit_changes_exactly_one_bit():
+    out = _flip_bit(b"\x00\x00", 3)
+    assert out == b"\x08\x00"
+    out = _flip_bit(b"\x00\x00", 9)
+    assert out == b"\x00\x02"
+
+
+def test_flip_bit_wraps_long_indices():
+    out = _flip_bit(b"\x00", 8)  # wraps back to byte 0
+    assert out == b"\x01"
+
+
+def test_flip_bit_empty_payload_noop():
+    assert _flip_bit(b"", 5) == b""
+
+
+def test_flip_bit_materializes_opaque():
+    frame = OpaquePayload(b"\x00" * 12, b"\xff" * 4, b"\x00" * 16)
+    out = _flip_bit(frame, 0)
+    assert isinstance(out, bytes)
+    assert len(out) == 32
+    assert out != frame.to_bytes()
+
+
+def test_injector_ledger_counts():
+    inj = FaultInjector(corrupt_every_nth(2))
+    for _ in range(4):
+        inj.apply(_env())
+    assert inj.injected[FaultAction.CORRUPT] == 2
+    assert inj.injected[FaultAction.DELIVER] == 2
+
+
+def test_duplicate_returns_two_independent_envelopes():
+    inj = FaultInjector(target_route(0, 1, FaultAction.DUPLICATE))
+    outs = inj.apply(_env())
+    assert len(outs) == 2
+    assert outs[0] is not outs[1]
+    assert outs[0].payload == outs[1].payload
+    # The clone must not share the delivery-chain bookkeeping.
+    assert "delivery_done" not in outs[1].info
+
+
+def test_duplicate_of_rts_is_suppressed():
+    env = _env()
+    env.info["rendezvous_trigger"] = lambda: None
+    inj = FaultInjector(target_route(0, 1, FaultAction.DUPLICATE))
+    assert inj.apply(env) == [env]
+
+
+def test_drop_returns_empty():
+    inj = FaultInjector(target_route(0, 1, FaultAction.DROP))
+    assert inj.apply(_env()) == []
+    assert inj.apply(_env(src=2, dst=3)) != []  # other routes untouched
+
+
+def test_corrupt_start_offset():
+    inj = FaultInjector(corrupt_every_nth(10, start=2))
+    results = [inj.apply(_env())[0].payload != b"\x00" * 8 for _ in range(5)]
+    assert results == [False, False, True, False, False]

@@ -1,0 +1,71 @@
+"""Direct unit tests for the zero-copy OpaquePayload frame."""
+
+import pytest
+
+from repro.simmpi.message import OpaquePayload, as_bytes
+
+NONCE = bytes(range(12))
+TAG = bytes(16)
+
+
+def _frame(body=b"payload"):
+    return OpaquePayload(NONCE, body, TAG)
+
+
+def test_length_counts_all_parts():
+    f = _frame(b"abc")
+    assert len(f) == 12 + 3 + 16
+
+
+def test_to_bytes_concatenates():
+    f = _frame(b"abc")
+    assert f.to_bytes() == NONCE + b"abc" + TAG
+
+
+def test_base_is_shared_not_copied():
+    body = b"x" * 1024
+    f = _frame(body)
+    assert f.base is body  # the whole point: no copy
+
+
+def test_slicing_matches_materialized_bytes():
+    f = _frame(b"hello world")
+    raw = f.to_bytes()
+    assert f[0] == raw[0]
+    assert f[12:-16] == b"hello world"
+    assert f[-16:] == TAG
+
+
+def test_equality_with_bytes_and_frames():
+    f = _frame(b"same")
+    g = _frame(b"same")
+    h = _frame(b"diff")
+    assert f == g
+    assert f == NONCE + b"same" + TAG
+    assert f != h
+    assert (f == 42) is False or f.__eq__(42) is NotImplemented
+
+
+def test_hash_consistent_with_equality():
+    assert hash(_frame(b"k")) == hash(_frame(b"k"))
+
+
+def test_nested_frames_materialize_recursively():
+    inner = _frame(b"core")
+    outer = OpaquePayload(b"", inner, b"")
+    assert outer.to_bytes() == inner.to_bytes()
+    assert len(outer) == len(inner)
+
+
+def test_as_bytes_helper():
+    f = _frame(b"abc")
+    assert as_bytes(f) == f.to_bytes()
+    assert as_bytes(b"plain") == b"plain"
+    assert as_bytes(bytearray(b"ba")) == b"ba"
+    assert isinstance(as_bytes(memoryview(b"mv")), bytes)
+
+
+def test_repr_shows_size_not_content():
+    f = _frame(b"secret")
+    assert "secret" not in repr(f)
+    assert str(len(f)) in repr(f)

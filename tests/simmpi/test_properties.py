@@ -1,0 +1,95 @@
+"""Property-based tests: MPI semantics under randomized traffic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.cpu import ClusterSpec
+from repro.simmpi import run_program
+
+CLUSTER = ClusterSpec(nodes=2, cores_per_node=4)
+
+# Sizes crossing all transport regimes: tiny eager, flow-cutoff eager,
+# rendezvous.
+size_strategy = st.sampled_from([0, 1, 100, 2048, 4096, 70_000, 200_000])
+
+
+@settings(max_examples=15, deadline=None)
+@given(sizes=st.lists(size_strategy, min_size=1, max_size=10))
+def test_fifo_matching_for_any_size_sequence(sizes):
+    """Same-route same-tag messages always match in send order,
+    whatever mix of eager/flow/rendezvous sizes is sent."""
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            for i, s in enumerate(sizes):
+                ctx.comm.send(bytes([i]) + b"\x00" * s, 1, tag=0)
+        else:
+            seen = []
+            for _ in sizes:
+                data, _status = ctx.comm.recv(0, 0)
+                seen.append(data[0])
+            return seen
+
+    res = run_program(2, prog, cluster=CLUSTER)
+    assert res.results[1] == list(range(len(sizes)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nranks=st.sampled_from([2, 3, 5, 8]),
+    payloads=st.lists(st.binary(max_size=300), min_size=1, max_size=4),
+)
+def test_alltoall_is_a_transpose(nranks, payloads):
+    """alltoall(chunks)[r][s] == chunks sent by s to r, for arbitrary
+    payload contents and rank counts."""
+
+    def prog(ctx):
+        chunks = [
+            bytes([ctx.rank, d]) + payloads[(ctx.rank + d) % len(payloads)]
+            for d in range(nranks)
+        ]
+        return ctx.comm.alltoall(chunks)
+
+    results = run_program(nranks, prog, cluster=ClusterSpec(2, 4)).results
+    for r in range(nranks):
+        for s in range(nranks):
+            expected = bytes([s, r]) + payloads[(s + r) % len(payloads)]
+            assert results[r][s] == expected
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    nranks=st.sampled_from([2, 4, 7]),
+    payload=st.binary(max_size=1000),
+    root=st.integers(0, 6),
+)
+def test_bcast_delivers_exact_payload(nranks, payload, root):
+    root = root % nranks
+
+    def prog(ctx):
+        data = payload if ctx.rank == root else None
+        return ctx.comm.bcast(data, root, nbytes=len(payload))
+
+    results = run_program(nranks, prog, cluster=ClusterSpec(2, 4)).results
+    assert all(r == payload for r in results)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed_sizes=st.lists(st.integers(0, 50_000), min_size=2, max_size=6))
+def test_makespan_is_deterministic(seed_sizes):
+    """The same traffic pattern always yields the same virtual makespan."""
+
+    def prog(ctx):
+        other = 1 - ctx.rank
+        for s in seed_sizes:
+            if ctx.rank == 0:
+                ctx.comm.send(b"\x00" * s, other, tag=1)
+                ctx.comm.recv(other, 2)
+            else:
+                ctx.comm.recv(other, 1)
+                ctx.comm.send(b"\x00" * s, other, tag=2)
+        return ctx.now
+
+    a = run_program(2, prog, cluster=CLUSTER).duration
+    b = run_program(2, prog, cluster=CLUSTER).duration
+    assert a == b

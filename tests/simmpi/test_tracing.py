@@ -1,0 +1,105 @@
+"""Tests for the communication tracing facility."""
+
+import pytest
+
+from repro.models.cpu import ClusterSpec
+from repro.simmpi import run_program
+from repro.simmpi.tracing import CommTrace
+
+CLUSTER = ClusterSpec(nodes=2, cores_per_node=4)
+
+
+def _traced(prog, nranks=2):
+    res = run_program(nranks, prog, cluster=CLUSTER, trace=True)
+    assert res.trace is not None
+    return res.trace
+
+
+def test_p2p_traffic_recorded():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"x" * 100, 1, tag=0)
+            ctx.comm.send(b"y" * 50, 1, tag=0)
+        else:
+            ctx.comm.recv(0, 0)
+            ctx.comm.recv(0, 0)
+
+    trace = _traced(prog)
+    assert trace.total_messages == 2
+    assert trace.total_payload_bytes == 150
+    assert trace.routes[(0, 1)].messages == 2
+    assert trace.bytes_sent_by(0) == 150
+    assert trace.bytes_received_by(1) == 150
+    assert trace.bytes_sent_by(1) == 0
+
+
+def test_wire_overhead_fraction_tracks_encryption():
+    from repro.encmpi import EncryptedComm, SecurityConfig
+
+    def prog(ctx):
+        enc = EncryptedComm(ctx, SecurityConfig(crypto_mode="modeled"))
+        if ctx.rank == 0:
+            enc.send(b"z" * 1000, 1)
+        else:
+            enc.recv(0)
+
+    trace = _traced(prog)
+    # The frame (nonce||pt||tag) IS the MPI-level payload: 1000+28.
+    assert trace.total_wire_bytes == trace.total_payload_bytes == 1028
+    assert trace.routes[(0, 1)].wire_bytes == 1028
+
+
+def test_matrix_and_heaviest_routes():
+    def prog(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"a" * 10, 1, tag=0)
+        elif ctx.rank == 1:
+            ctx.comm.recv(0, 0)
+            ctx.comm.send(b"b" * 99, 2, tag=0)
+        elif ctx.rank == 2:
+            ctx.comm.recv(1, 0)
+
+    trace = _traced(prog, nranks=3)
+    m = trace.matrix(3)
+    assert m[0][1] == 10
+    assert m[1][2] == 99
+    assert trace.heaviest_routes(1)[0][0] == (1, 2)
+
+
+def test_size_histogram_buckets():
+    trace = CommTrace()
+    trace.record(0, 1, 0, 0)
+    trace.record(0, 1, 1, 29)
+    trace.record(0, 1, 1024, 1052)
+    trace.record(0, 1, 1500, 1528)
+    assert trace.size_histogram[-1] == 1
+    assert trace.size_histogram[0] == 1
+    assert trace.size_histogram[10] == 2  # 1024 and 1500 share 2^10
+
+
+def test_render_is_readable():
+    trace = CommTrace()
+    trace.record(0, 1, 100, 128)
+    out = trace.render()
+    assert "messages: 1" in out
+    assert "0->1" in out
+    assert trace.wire_overhead_fraction() == pytest.approx(0.28)
+
+
+def test_collectives_are_traced():
+    def prog(ctx):
+        ctx.comm.allgather(b"g" * 64)
+
+    trace = _traced(prog, nranks=4)
+    assert trace.total_messages > 0
+    # Every rank both sends and receives in an allgather.
+    for r in range(4):
+        assert trace.bytes_sent_by(r) > 0
+
+
+def test_no_trace_by_default():
+    def prog(ctx):
+        return None
+
+    res = run_program(1, prog, cluster=ClusterSpec(1, 1))
+    assert res.trace is None

@@ -1,0 +1,74 @@
+"""Unit tests for size/rate parsing and formatting."""
+
+import pytest
+
+from repro.util.units import (
+    KiB,
+    MiB,
+    format_bytes,
+    format_rate,
+    format_time,
+    mb_per_s,
+    parse_size,
+)
+
+
+@pytest.mark.parametrize(
+    "text,expected",
+    [
+        ("1B", 1),
+        ("16B", 16),
+        ("256b", 256),
+        ("1KB", KiB),
+        ("16KB", 16 * KiB),
+        ("2MB", 2 * MiB),
+        ("4mb", 4 * MiB),
+        ("1GiB", 1024 * MiB),
+        ("0", 0),
+        (4096, 4096),
+    ],
+)
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "-4KB", "1.5B"])
+def test_parse_size_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_size(bad)
+
+
+def test_parse_size_rejects_negative_int():
+    with pytest.raises(ValueError):
+        parse_size(-1)
+
+
+@pytest.mark.parametrize(
+    "n,expected",
+    [(1, "1B"), (16, "16B"), (KiB, "1KB"), (16 * KiB, "16KB"), (2 * MiB, "2MB")],
+)
+def test_format_bytes(n, expected):
+    assert format_bytes(n) == expected
+
+
+def test_format_bytes_roundtrips_parse():
+    for n in (1, 16, 256, KiB, 4 * KiB, 16 * KiB, MiB, 2 * MiB):
+        assert parse_size(format_bytes(n)) == n
+
+
+def test_format_rate():
+    assert format_rate(1381e6) == "1381.00 MB/s"
+
+
+def test_format_time_scales():
+    assert format_time(31.5e-6) == "31.50us"
+    assert format_time(0.0125) == "12.500ms"
+    assert format_time(88.52) == "88.520s"
+    with pytest.raises(ValueError):
+        format_time(-1)
+
+
+def test_mb_per_s():
+    assert mb_per_s(2 * MiB, 2 * MiB / 1038e6) == pytest.approx(1038.0)
+    with pytest.raises(ValueError):
+        mb_per_s(1, 0)

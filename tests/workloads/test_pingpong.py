@@ -1,0 +1,63 @@
+"""Ping-pong workload tests against the paper's Tables I/V anchors."""
+
+import pytest
+
+from repro.util.units import KiB, MiB
+from repro.workloads.pingpong import pingpong_oneway_time, pingpong_throughput
+
+
+def test_baseline_matches_table1_anchors():
+    for size, mbps in ((1, 0.050), (16, 0.83), (256, 7.01), (1 * KiB, 17.03)):
+        got = pingpong_throughput(size, network="ethernet") / 1e6
+        assert got == pytest.approx(mbps, rel=0.02), size
+
+
+def test_baseline_matches_table5_anchors():
+    for size, mbps in ((1, 0.57), (256, 82.34), (1 * KiB, 272.84)):
+        got = pingpong_throughput(size, network="infiniband") / 1e6
+        assert got == pytest.approx(mbps, rel=0.02), size
+
+
+def test_encrypted_2mb_overhead_ethernet():
+    """§V-A headline: BoringSSL 78.3% at 2 MB on Ethernet."""
+    base = pingpong_oneway_time(2 * MiB, network="ethernet")
+    enc = pingpong_oneway_time(2 * MiB, network="ethernet", library="boringssl")
+    overhead = (enc - base) / base * 100
+    assert overhead == pytest.approx(78.3, abs=8)
+
+
+def test_encrypted_2mb_overhead_infiniband():
+    """§V-B headline: BoringSSL 215.2% at 2 MB on InfiniBand."""
+    base = pingpong_oneway_time(2 * MiB, network="infiniband")
+    enc = pingpong_oneway_time(2 * MiB, network="infiniband", library="boringssl")
+    overhead = (enc - base) / base * 100
+    assert overhead == pytest.approx(215.2, abs=20)
+
+
+def test_small_messages_have_small_overhead_on_ethernet():
+    """§V-A: ~6% overhead at 256 B for the fast libraries on Ethernet."""
+    base = pingpong_oneway_time(256, network="ethernet")
+    enc = pingpong_oneway_time(256, network="ethernet", library="libsodium")
+    overhead = (enc - base) / base * 100
+    assert overhead < 15
+
+
+def test_library_ranking_at_2mb():
+    ts = {
+        lib: pingpong_throughput(2 * MiB, network="ethernet", library=lib)
+        for lib in ("boringssl", "libsodium", "cryptopp")
+    }
+    assert ts["boringssl"] > ts["libsodium"] > ts["cryptopp"]
+
+
+def test_key128_at_least_as_fast_as_256():
+    t256 = pingpong_oneway_time(1 * MiB, library="boringssl", key_bits=256)
+    t128 = pingpong_oneway_time(1 * MiB, library="boringssl", key_bits=128)
+    assert t128 <= t256
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        pingpong_oneway_time(-1)
+    with pytest.raises(ValueError):
+        pingpong_oneway_time(16, iters=0)
