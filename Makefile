@@ -2,18 +2,31 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments-fast experiments-all examples clean
+.PHONY: install test test-fast test-all bench bench-baseline bench-pytest \
+	experiments-fast experiments-all examples clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest tests/ -m "not slow"
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -x -q -m "not slow"
 
+test-all:
+	$(PYTHON) -m pytest tests/
+
+# Quick smoke of the substrate's hot paths (seconds, skips slow experiments);
+# compares against the committed baseline so regressions are visible.
 bench:
+	$(PYTHON) -m repro.experiments bench --smoke
+
+# Regenerate the committed full-mode baseline (minutes; includes fig6).
+bench-baseline:
+	$(PYTHON) -m repro.experiments bench --output BENCH_core.json
+
+bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments-fast:

@@ -1,0 +1,42 @@
+"""Core-substrate benchmarks, pytest-benchmark face of repro.experiments.bench.
+
+Each test wraps one registered bench from
+:mod:`repro.experiments.bench` in smoke mode, so ``make bench`` and
+``pytest benchmarks/test_bench_core.py`` exercise exactly the code
+paths the committed ``BENCH_core.json`` baseline tracks.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import bench as core_bench
+
+
+@pytest.mark.parametrize("name", sorted(core_bench._BENCHES))
+def test_core_bench_smoke(benchmark, name):
+    _description, fn = core_bench._BENCHES[name]
+    result = run_once(benchmark, lambda: fn("smoke"))
+    assert "seconds" in result
+    if result["seconds"] is not None:
+        assert result["seconds"] >= 0.0
+
+
+def test_bench_document_shape():
+    doc = core_bench.run_core_benches("smoke")
+    assert doc["schema"] == core_bench.SCHEMA
+    assert doc["mode"] == "smoke"
+    assert set(doc["benches"]) == set(core_bench._BENCHES)
+    # slow experiments must be skipped in smoke mode, not silently run
+    assert doc["benches"]["experiment_fig6"]["seconds"] is None
+
+
+def test_bench_render_with_baseline():
+    doc = core_bench.run_core_benches("smoke")
+    text = core_bench.render(doc, baseline=doc)
+    assert "speedup" in text
+    assert "gcm_seal" in text
+
+
+def test_bench_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        core_bench.run_core_benches("fastest")

@@ -10,8 +10,8 @@ Run:  python examples/attack_demos.py
 """
 
 from repro.crypto import attacks
+from repro.crypto.aead import get_aead
 from repro.crypto.errors import AuthenticationError
-from repro.crypto.gcm import AESGCM
 from repro.crypto.modes import CBC, CTR, ECB
 from repro.crypto.otp import BigKeyPad, xor_bytes
 
@@ -28,7 +28,7 @@ def demo_ecb() -> None:
     repeats = attacks.ecb_block_repetition(ecb, payload)
     print(f"   repeated ciphertext blocks visible to an eavesdropper: "
           f"{[(blk.hex()[:16] + '..', n) for blk, n in repeats.items()]}")
-    gcm_ct = AESGCM(KEY).encrypt(bytes(12), payload)[:-16]
+    gcm_ct = get_aead(KEY).seal(bytes(12), payload)[:-16]
     blocks = [gcm_ct[i : i + 16] for i in range(0, len(gcm_ct), 16)]
     print(f"   under AES-GCM the same payload shows "
           f"{len(blocks) - len(set(blocks))} repeated blocks\n")
@@ -74,12 +74,12 @@ def demo_ctr_bitflip() -> None:
 
 def demo_gcm_resists() -> None:
     print("5. AES-GCM (the paper's choice) rejects all of the above")
-    gcm = AESGCM(KEY)
+    gcm = get_aead(KEY)
     nonce = bytes(12)
-    wire = bytearray(gcm.encrypt(nonce, b"transfer $100"))
+    wire = bytearray(gcm.seal(nonce, b"transfer $100"))
     wire[10] ^= 0x08
     try:
-        gcm.decrypt(nonce, bytes(wire))
+        gcm.open(nonce, bytes(wire))
         print("   !!! tampering accepted — this should never print")
     except AuthenticationError as exc:
         print(f"   bit-flip rejected: {exc}")
@@ -89,11 +89,11 @@ def demo_gcm_resists() -> None:
 
 def demo_replay_gap() -> None:
     print("6. Replay: the gap the paper leaves open (footnote 1)")
-    gcm = AESGCM(KEY)
+    gcm = get_aead(KEY)
     nonce = bytes(12)
-    wire = gcm.encrypt(nonce, b"launch the batch job")
-    print(f"   first delivery:  {gcm.decrypt(nonce, wire)!r}")
-    print(f"   replayed copy:   {gcm.decrypt(nonce, wire)!r}  <- accepted!")
+    wire = gcm.seal(nonce, b"launch the batch job")
+    print(f"   first delivery:  {gcm.open(nonce, wire)!r}")
+    print(f"   replayed copy:   {gcm.open(nonce, wire)!r}  <- accepted!")
     from repro.encmpi.replay import ReplayError, ReplayGuard
 
     guard = ReplayGuard()

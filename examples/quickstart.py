@@ -6,36 +6,30 @@ over the AES-GCM-encrypted MPI of the paper — and shows (a) the
 payload is protected on the wire, (b) tampering is detected, and
 (c) what encryption costs in time on the two fabrics the paper studies.
 
+Everything goes through :mod:`repro.api`, the package's stable public
+surface: ``run_job`` is the simulated ``mpiexec``, ``sweep`` runs the
+(network × security) grid, and a job run with ``security=...`` finds a
+ready encrypted communicator on ``ctx.enc``.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.encmpi import EncryptedComm, SecurityConfig
-from repro.models.cpu import ClusterSpec
-from repro.simmpi import run_program
+from repro import api
 from repro.util.units import format_time
 
 MESSAGE = b"patient-record:42;bp=120/80;diagnosis=classified" * 100
-CLUSTER = ClusterSpec(nodes=2, cores_per_node=4)
+CLUSTER = api.ClusterSpec(nodes=2, cores_per_node=4)
+SECURITY = api.SecurityConfig(library="boringssl")
 
 
-def plain_job(ctx):
-    """Two ranks exchanging a record over ordinary MPI."""
+def exchange_job(ctx):
+    """Two ranks exchanging a record; encrypted iff the job has a
+    SecurityConfig (then ctx.enc is populated, else it is None)."""
+    comm = ctx.enc if ctx.enc is not None else ctx.comm
     if ctx.rank == 0:
-        ctx.comm.send(MESSAGE, 1, tag=0)
+        comm.send(MESSAGE, 1, tag=0)
         return ctx.now
-    data, status = ctx.comm.recv(0, 0)
-    assert data == MESSAGE
-    return ctx.now
-
-
-def encrypted_job(ctx):
-    """Same exchange through the encrypted layer (BoringSSL profile,
-    AES-GCM-256, random nonces — the paper's default)."""
-    enc = EncryptedComm(ctx, SecurityConfig(library="boringssl"))
-    if ctx.rank == 0:
-        enc.send(MESSAGE, 1, tag=0)
-        return ctx.now
-    data, status = enc.recv(0, 0)
+    data, status = comm.recv(0, 0)
     assert data == MESSAGE
     return ctx.now
 
@@ -44,14 +38,13 @@ def eavesdropper_job(ctx):
     """What does the wire actually carry?  Rank 1 peeks at the raw
     bytes before decrypting: nonce || ciphertext || tag, and the
     plaintext is nowhere in it."""
-    enc = EncryptedComm(ctx, SecurityConfig())
     if ctx.rank == 0:
-        enc.send(MESSAGE, 1, tag=0)
+        ctx.enc.send(MESSAGE, 1, tag=0)
         return None
     wire = ctx.comm.irecv(0, 0).wait()
     assert len(wire) == len(MESSAGE) + 28, "Algorithm 1: l+28 bytes on the wire"
     assert MESSAGE[:64] not in wire, "plaintext must not appear on the wire"
-    plaintext = enc._decrypt_charged(wire)
+    plaintext = ctx.enc._decrypt_charged(wire)
     assert plaintext == MESSAGE
     return len(wire)
 
@@ -60,14 +53,13 @@ def tamper_job(ctx):
     """An in-network adversary flips one bit: AES-GCM refuses it."""
     from repro.crypto.errors import AuthenticationError
 
-    enc = EncryptedComm(ctx, SecurityConfig())
     if ctx.rank == 0:
-        enc.send(MESSAGE, 1, tag=0)
+        ctx.enc.send(MESSAGE, 1, tag=0)
         return None
     wire = bytearray(ctx.comm.irecv(0, 0).wait())
     wire[40] ^= 0x01
     try:
-        enc._decrypt_charged(bytes(wire))
+        ctx.enc._decrypt_charged(bytes(wire))
     except AuthenticationError:
         return "tamper detected"
     return "TAMPER MISSED"
@@ -75,22 +67,31 @@ def tamper_job(ctx):
 
 def main() -> None:
     print("— plain vs encrypted exchange on both fabrics —")
+    points = api.sweep(
+        exchange_job,
+        nranks=2,
+        networks=("ethernet", "infiniband"),
+        securities=(None, SECURITY),
+        cluster=CLUSTER,
+    )
+    grid = {p.label: p.result.results[1] for p in points}
     for network in ("ethernet", "infiniband"):
-        t_plain = run_program(2, plain_job, network=network, cluster=CLUSTER)
-        t_enc = run_program(2, encrypted_job, network=network, cluster=CLUSTER)
-        plain, enc = t_plain.results[1], t_enc.results[1]
+        plain = grid[f"{network}/baseline"]
+        enc = grid[f"{network}/{SECURITY.library}"]
         print(
             f"  {network:11s} plain {format_time(plain)}  "
             f"encrypted {format_time(enc)}  (+{(enc / plain - 1) * 100:.1f}%)"
         )
 
     print("— wire inspection —")
-    res = run_program(2, eavesdropper_job, cluster=CLUSTER)
+    res = api.run_job(eavesdropper_job, nranks=2, security=api.SecurityConfig(),
+                      cluster=CLUSTER)
     print(f"  wire carries {res.results[1]} bytes (plaintext {len(MESSAGE)}), "
           "no plaintext visible")
 
     print("— tamper detection —")
-    res = run_program(2, tamper_job, cluster=CLUSTER)
+    res = api.run_job(tamper_job, nranks=2, security=api.SecurityConfig(),
+                      cluster=CLUSTER)
     print(f"  {res.results[1]}")
 
 

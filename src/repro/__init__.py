@@ -24,12 +24,25 @@ __version__ = "1.0.0"
 
 
 def __getattr__(name):
-    """Lazy top-level conveniences: ``repro.run_program``,
-    ``repro.EncryptedComm``, ``repro.SecurityConfig``.
+    """Lazy top-level conveniences.
+
+    The stable public surface is :mod:`repro.api` (``run_job``,
+    ``sweep``, ``get_experiment`` and their result dataclasses), all
+    re-exported here.  The pre-facade names (``run_program``,
+    ``EncryptedComm``, ``SecurityConfig``) remain supported.
 
     Lazy so that ``import repro`` stays instant (the simulator and
     crypto stacks only load when touched).
     """
+    if name in ("run_job", "sweep", "get_experiment", "list_experiments",
+                "JobResult", "SweepPoint"):
+        from repro import api
+
+        return getattr(api, name)
+    if name == "get_aead":
+        from repro.crypto.aead import get_aead
+
+        return get_aead
     if name == "run_program":
         from repro.simmpi import run_program
 
@@ -45,4 +58,18 @@ def __getattr__(name):
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
-__all__ = ["__version__", "run_program", "EncryptedComm", "SecurityConfig"]
+__all__ = [
+    "__version__",
+    # the stable facade (repro.api)
+    "run_job",
+    "sweep",
+    "get_experiment",
+    "list_experiments",
+    "JobResult",
+    "SweepPoint",
+    "get_aead",
+    # pre-facade conveniences (kept stable)
+    "run_program",
+    "EncryptedComm",
+    "SecurityConfig",
+]

@@ -1,0 +1,173 @@
+"""The unified public facade of the reproduction.
+
+Everything a caller needs rides behind three functions::
+
+    from repro import api
+
+    result = api.run_job(my_rank_fn, nranks=4,
+                         security=api.SecurityConfig(library="boringssl"))
+    points = api.sweep(my_rank_fn, nranks=4,
+                       securities=(None, api.SecurityConfig()))
+    artifact = api.get_experiment("fig6").runner()
+
+Before this module existed, callers imported from four subpackages
+(``repro.simmpi.world``, ``repro.workloads.*``, ``repro.encmpi.config``,
+``repro.experiments.registry``); those import paths keep working, but
+new code should come through here — this is the surface the project
+keeps stable.
+
+Design rules of the facade:
+
+- every argument beyond the workload itself is **keyword-only**;
+- results are frozen dataclasses, not tuples;
+- a workload is one plain function, run once per rank, receiving a
+  :class:`repro.simmpi.world.RankContext`.  When a
+  :class:`SecurityConfig` is supplied, the context's ``enc`` attribute
+  carries a ready :class:`repro.encmpi.context.EncryptedComm` for that
+  rank; on plain jobs ``ctx.enc`` is None.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.encmpi.config import SecurityConfig
+from repro.experiments.registry import (
+    Experiment,
+    get_experiment,
+    list_experiments,
+)
+from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
+from repro.models.network import NetworkModel
+from repro.simmpi.world import RankContext, run_program
+
+__all__ = [
+    "ClusterSpec",
+    "Experiment",
+    "JobResult",
+    "PAPER_CLUSTER",
+    "SecurityConfig",
+    "SweepPoint",
+    "get_experiment",
+    "list_experiments",
+    "run_job",
+    "sweep",
+]
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one :func:`run_job` invocation."""
+
+    #: per-rank return values of the workload
+    results: list
+    #: virtual makespan of the job in seconds
+    duration: float
+    #: per-rank (start, end) virtual times
+    spans: list = field(default_factory=list)
+    #: CommTrace when run_job(trace=True), else None
+    trace: Any = None
+    #: the security configuration the job ran under (None = plain MPI)
+    security: SecurityConfig | None = None
+    #: fabric name the job ran on
+    network: str = "ethernet"
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of a :func:`sweep` grid."""
+
+    network: str
+    security: SecurityConfig | None
+    result: JobResult
+
+    @property
+    def label(self) -> str:
+        lib = self.security.library if self.security is not None else "baseline"
+        return f"{self.network}/{lib}"
+
+
+def _network_name(network: str | NetworkModel) -> str:
+    return network if isinstance(network, str) else network.name
+
+
+def run_job(
+    workload: Callable[[RankContext], Any],
+    *,
+    nranks: int = 2,
+    security: SecurityConfig | None = None,
+    network: str | NetworkModel = "ethernet",
+    cluster: ClusterSpec = PAPER_CLUSTER,
+    placement: str = "block",
+    trace: bool = False,
+    fault_injector: Any = None,
+) -> JobResult:
+    """Run *workload* on *nranks* simulated ranks; the facade's mpiexec.
+
+    With *security* set, each rank's context carries ``ctx.enc`` — an
+    :class:`EncryptedComm` configured per the paper's Algorithm 1 — and
+    the workload chooses per call whether to speak plain (``ctx.comm``)
+    or encrypted (``ctx.enc``) MPI.  All arguments except the workload
+    are keyword-only.
+    """
+    if security is None:
+        program = workload
+    else:
+        from repro.encmpi.context import EncryptedComm
+
+        def program(ctx: RankContext) -> Any:
+            ctx.enc = EncryptedComm(ctx, security)
+            return workload(ctx)
+
+    sim = run_program(
+        nranks,
+        program,
+        network=network,
+        cluster=cluster,
+        placement=placement,
+        trace=trace,
+        fault_injector=fault_injector,
+    )
+    return JobResult(
+        results=sim.results,
+        duration=sim.duration,
+        spans=sim.spans,
+        trace=sim.trace,
+        security=security,
+        network=_network_name(network),
+    )
+
+
+def sweep(
+    workload: Callable[[RankContext], Any],
+    *,
+    nranks: int = 2,
+    networks: Sequence[str | NetworkModel] = ("ethernet",),
+    securities: Iterable[SecurityConfig | None] = (None,),
+    cluster: ClusterSpec = PAPER_CLUSTER,
+    placement: str = "block",
+    trace: bool = False,
+) -> list[SweepPoint]:
+    """Run *workload* across the (network × security) grid.
+
+    The grid order is deterministic: networks outermost, securities in
+    the order given.  Each cell is an independent :func:`run_job`.
+    """
+    securities = tuple(securities)
+    points: list[SweepPoint] = []
+    for net in networks:
+        for sec in securities:
+            result = run_job(
+                workload,
+                nranks=nranks,
+                security=sec,
+                network=net,
+                cluster=cluster,
+                placement=placement,
+                trace=trace,
+            )
+            points.append(
+                SweepPoint(network=_network_name(net), security=sec, result=result)
+            )
+    return points

@@ -67,6 +67,14 @@ class AEAD(abc.ABC):
 
 _REGISTRY: dict[str, Callable[[bytes], AEAD]] = {}
 
+#: Constructed AEAD instances keyed by (resolved backend, key).  An AEAD
+#: here is stateless between calls (the nonce arrives per message), so a
+#: single instance per key can safely serve every rank of a simulated
+#: job — which is what stops per-message seal/open from re-deriving AES
+#: key schedules and GHASH tables.
+_INSTANCE_CACHE: dict[tuple[str, bytes], AEAD] = {}
+_INSTANCE_CACHE_MAX = 64
+
 
 def register_backend(name: str, factory: Callable[[bytes], AEAD]) -> None:
     if name in _REGISTRY:
@@ -81,24 +89,41 @@ def available_backends() -> list[str]:
 
 
 def get_aead(key: bytes, backend: str = "auto") -> AEAD:
-    """Instantiate an AEAD for *key*.
+    """The one public AEAD constructor: an instance for *key*.
 
     ``backend="auto"`` picks the fastest available backend (OpenSSL via
     ``cryptography`` when importable, else the pure-Python fallback).
+    Instances are cached per (backend, key) and shared — they hold only
+    derived key material, never per-message state — so repeated calls
+    with one key cost a dict lookup, not a key expansion.
     """
     _ensure_loaded()
     if backend == "auto":
         for name in ("openssl", "pure"):
             if name in _REGISTRY:
-                return _REGISTRY[name](key)
-        raise CryptoError("no AEAD backends registered")
+                backend = name
+                break
+        else:
+            raise CryptoError("no AEAD backends registered")
     try:
         factory = _REGISTRY[backend]
     except KeyError:
         raise CryptoError(
             f"unknown AEAD backend {backend!r}; available: {available_backends()}"
         ) from None
-    return factory(key)
+    if isinstance(key, (bytearray, memoryview)):
+        key = bytes(key)
+    cache_key = (backend, key) if isinstance(key, bytes) else None
+    if cache_key is not None:
+        cached = _INSTANCE_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
+    instance = factory(key)
+    if cache_key is not None:
+        if len(_INSTANCE_CACHE) >= _INSTANCE_CACHE_MAX:
+            _INSTANCE_CACHE.pop(next(iter(_INSTANCE_CACHE)))
+        _INSTANCE_CACHE[cache_key] = instance
+    return instance
 
 
 _loaded = False

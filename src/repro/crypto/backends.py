@@ -6,9 +6,18 @@ paper's OpenSSL-built prototype calls (EVP AES-GCM with AES-NI); the
 :mod:`repro.crypto.gcm`.  Both produce byte-identical ciphertexts — the
 test suite asserts so — which is what lets the simulator use whichever
 is available without changing behaviour.
+
+Backends register themselves into :func:`repro.crypto.aead.get_aead`,
+which is the **only** supported constructor: it resolves the backend
+name and caches instances per key.  The historical class-per-backend
+entry points (``PureAEAD``, ``ChaChaAEAD``, ``OpenSSLAEAD``) remain
+importable as thin deprecation shims — each emits a single
+``DeprecationWarning`` on first access and resolves to the real class.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.crypto.aead import AEAD, register_backend
 from repro.crypto.errors import AuthenticationError
@@ -23,7 +32,7 @@ except ImportError:  # pragma: no cover
     HAVE_OPENSSL = False
 
 
-class PureAEAD(AEAD):
+class _PureAEAD(AEAD):
     """From-scratch AES-GCM; slow but dependency-free and auditable."""
 
     name = "pure"
@@ -39,10 +48,10 @@ class PureAEAD(AEAD):
         return self._gcm.decrypt(nonce, ciphertext, aad)
 
 
-register_backend("pure", PureAEAD)
+register_backend("pure", _PureAEAD)
 
 
-class ChaChaAEAD(AEAD):
+class _ChaChaAEAD(AEAD):
     """ChaCha20-Poly1305 (RFC 8439) — Libsodium's native AEAD.
 
     Same ``nonce || ct || tag`` frame shape as AES-GCM, so the encrypted
@@ -68,12 +77,12 @@ class ChaChaAEAD(AEAD):
         return self._aead.decrypt(nonce, ciphertext, aad)
 
 
-register_backend("chacha", ChaChaAEAD)
+register_backend("chacha", _ChaChaAEAD)
 
 
 if HAVE_OPENSSL:
 
-    class OpenSSLAEAD(AEAD):
+    class _OpenSSLAEAD(AEAD):
         """AES-GCM through OpenSSL's EVP layer (AES-NI accelerated)."""
 
         name = "openssl"
@@ -93,4 +102,36 @@ if HAVE_OPENSSL:
                     "GCM tag mismatch: message tampered or wrong key/nonce"
                 ) from exc
 
-    register_backend("openssl", OpenSSLAEAD)
+    register_backend("openssl", _OpenSSLAEAD)
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims for the pre-registry class entry points.
+# ---------------------------------------------------------------------------
+
+_DEPRECATED = {
+    "PureAEAD": ("pure", lambda: _PureAEAD),
+    "ChaChaAEAD": ("chacha", lambda: _ChaChaAEAD),
+    "OpenSSLAEAD": ("openssl", lambda: _OpenSSLAEAD if HAVE_OPENSSL else None),
+}
+_warned: set[str] = set()
+
+
+def __getattr__(name: str):
+    """Resolve deprecated backend-class names, warning once per name."""
+    entry = _DEPRECATED.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    backend, resolve = entry
+    cls = resolve()
+    if cls is None:  # OpenSSLAEAD without the cryptography package
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    if name not in _warned:
+        _warned.add(name)
+        warnings.warn(
+            f"repro.crypto.backends.{name} is deprecated; use "
+            f"repro.crypto.aead.get_aead(key, backend={backend!r}) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return cls

@@ -5,11 +5,18 @@ broken by insertion order, which — together with the single-threaded
 handoff discipline in :mod:`repro.des.process` — makes every simulation
 fully deterministic: the same program and seed always produce the same
 event order and the same virtual timings.
+
+Heap entries are plain ``[time, seq, callback, args]`` lists rather than
+event objects: ``heapq`` then orders them with C-level list comparison
+(time first, then the unique seq — the callback slot is never reached),
+which removes a Python-level ``__lt__`` call per comparison from the
+simulator's hottest loop.  Cancellation nulls the callback slot; the
+run loop skips such entries when they surface.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 
@@ -26,38 +33,28 @@ class DeadlockError(RuntimeError):
     """
 
 
-class _Event:
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
-
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+# Heap-entry slots (a 4-list, compared element-wise by heapq).
+_TIME, _SEQ, _CALLBACK, _ARGS = 0, 1, 2, 3
 
 
 class EventHandle:
     """Handle returned by :meth:`Engine.schedule`; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry",)
 
-    def __init__(self, event: _Event):
-        self._event = event
+    def __init__(self, entry: list):
+        self._entry = entry
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        self._entry[_CALLBACK] = None
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_CALLBACK] is None
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
 
 class Engine:
@@ -70,7 +67,7 @@ class Engine:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[_Event] = []
+        self._heap: list[list] = []
         self._seq = 0
         self._running = False
         # Populated by the process layer so the engine can report
@@ -88,7 +85,11 @@ class Engine:
         """Schedule *callback(*args)* to run *delay* seconds from now."""
         if delay < 0:
             raise SimTimeError(f"negative delay: {delay}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [self._now + delay, seq, callback, args]
+        heappush(self._heap, entry)
+        return EventHandle(entry)
 
     def schedule_at(
         self, time: float, callback: Callable[..., None], *args: Any
@@ -96,10 +97,11 @@ class Engine:
         """Schedule *callback(*args)* at absolute virtual *time*."""
         if time < self._now:
             raise SimTimeError(f"cannot schedule at {time} < now {self._now}")
-        event = _Event(time, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [time, seq, callback, args]
+        heappush(self._heap, entry)
+        return EventHandle(entry)
 
     def run(self, until: float | None = None) -> float:
         """Drain the event heap; return the final virtual time.
@@ -112,18 +114,21 @@ class Engine:
         if self._running:
             raise RuntimeError("Engine.run is not reentrant")
         self._running = True
+        heap = self._heap
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
+            while heap:
+                entry = heap[0]
+                callback = entry[_CALLBACK]
+                if callback is None:  # cancelled
+                    heappop(heap)
                     continue
-                if until is not None and event.time > until:
+                time = entry[_TIME]
+                if until is not None and time > until:
                     self._now = until
                     return self._now
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.callback(*event.args)
+                heappop(heap)
+                self._now = time
+                callback(*entry[_ARGS])
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -139,4 +144,4 @@ class Engine:
 
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the heap (for tests)."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if e[_CALLBACK] is not None)

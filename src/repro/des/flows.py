@@ -188,15 +188,27 @@ class FlowNetwork:
 
 
 def _progressive_fill(flows: set[Flow]) -> dict[Flow, float]:
-    """Max-min fair rates for *flows* under per-flow caps and shared capacities."""
-    rates: dict[Flow, float] = {f: 0.0 for f in flows}
+    """Max-min fair rates for *flows* under per-flow caps and shared capacities.
+
+    Per-capacity *active-flow counts* are maintained incrementally (and
+    decremented as flows freeze), so each filling round is O(F·C) in the
+    flows' constraint lists rather than re-scanning every capacity's
+    membership set — this runs once per membership change of the flow
+    network, i.e. on every large-message start/finish.
+    """
+    rates: dict[Flow, float] = dict.fromkeys(flows, 0.0)
     if not flows:
         return rates
     active = set(flows)
     residual: dict[Capacity, float] = {}
+    counts: dict[Capacity, int] = {}
     for f in flows:
         for c in f.constraints:
-            residual.setdefault(c, c.limit)
+            if c in counts:
+                counts[c] += 1
+            else:
+                counts[c] = 1
+                residual[c] = c.limit
 
     # Guard against pathological float stalls: each iteration freezes at
     # least one flow, so |flows| iterations always suffice.
@@ -206,7 +218,7 @@ def _progressive_fill(flows: set[Flow]) -> dict[Flow, float]:
         # Uniform increment allowed by each constraint and each flow cap.
         inc = math.inf
         for c, r in residual.items():
-            n = sum(1 for f in c.flows if f in active)
+            n = counts[c]
             if n:
                 inc = min(inc, r / n)
         for f in active:
@@ -217,13 +229,16 @@ def _progressive_fill(flows: set[Flow]) -> dict[Flow, float]:
             for c in f.constraints:
                 residual[c] -= inc
         # Freeze flows that hit their cap or sit on a saturated constraint.
-        newly_frozen = {
+        newly_frozen = [
             f
             for f in active
             if rates[f] >= f.rate_cap - _EPS * f.rate_cap
             or any(residual[c] <= _EPS * c.limit for c in f.constraints)
-        }
+        ]
         if not newly_frozen:
             break
-        active -= newly_frozen
+        for f in newly_frozen:
+            active.discard(f)
+            for c in f.constraints:
+                counts[c] -= 1
     return rates

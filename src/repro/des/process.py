@@ -10,6 +10,13 @@ the simulation fully deterministic.
 
 The pattern trades context-switch cost for programmability; with the
 fleet sizes in this reproduction (≤ 128 ranks) it is comfortably fast.
+
+Handoff uses raw ``threading.Lock`` objects (acquired at creation, so
+the first ``acquire`` blocks) rather than semaphores: the strict
+one-runnable-thread alternation guarantees release/acquire pairs never
+race, and a raw lock is a single C call where ``threading.Semaphore``
+is a Python-level Condition.  Blocked-state descriptions are kept as
+objects and only formatted if a deadlock report is actually needed.
 """
 
 from __future__ import annotations
@@ -79,7 +86,7 @@ class SimEvent:
         proc = self._scheduler.current()
         if not self._done:
             self._waiters.append(proc)
-            proc._block(f"waiting on {self!r}")
+            proc._block(self)  # formatted lazily in deadlock reports
         if self._exc is not None:
             raise self._exc
         return self._value
@@ -99,8 +106,12 @@ class SimProcess:
         self.name = name
         self._fn = fn
         self._args = args
-        self._resume = threading.Semaphore(0)
-        self._blocked_on: str | None = "not started"
+        # Handoff lock: created held, so the thread's first acquire
+        # blocks until the scheduler wakes it.  Release/acquire strictly
+        # alternate under the one-runnable-thread discipline.
+        self._resume = threading.Lock()
+        self._resume.acquire()
+        self._blocked_on: object | None = "not started"
         self.finished = SimEvent(scheduler)
         self.result: Any = None
         self._thread = threading.Thread(
@@ -118,7 +129,7 @@ class SimProcess:
             # deterministically by schedule order.
             pass
         self._scheduler.engine.schedule(delay, self._scheduler.wake_now, self)
-        self._block(f"sleep({delay})")
+        self._block("sleep")
 
     # -- scheduler-side machinery -----------------------------------------
 
@@ -132,10 +143,14 @@ class SimProcess:
         else:
             sched._on_process_exit(self, None)
 
-    def _block(self, reason: str) -> None:
-        """Hand control back to the engine and sleep until woken."""
+    def _block(self, reason: object) -> None:
+        """Hand control back to the engine and sleep until woken.
+
+        *reason* may be any object; it is only formatted (str()) if the
+        simulation deadlocks and a report is generated.
+        """
         self._blocked_on = reason
-        self._scheduler._hand_to_engine()
+        self._scheduler._engine_lock.release()
         self._resume.acquire()
         self._blocked_on = None
 
@@ -149,7 +164,9 @@ class Scheduler:
     def __init__(self, engine: Engine | None = None):
         self.engine = engine or Engine()
         self.engine._blocked_reporter = self._blocked_processes
-        self._engine_sem = threading.Semaphore(0)
+        # Engine-side handoff lock, created held (see SimProcess._resume).
+        self._engine_lock = threading.Lock()
+        self._engine_lock.acquire()
         self._current: SimProcess | None = None
         self._procs: list[SimProcess] = []
         self._failure: BaseException | None = None
@@ -226,7 +243,7 @@ class Scheduler:
             return  # simulation is being torn down
         self._current = proc
         proc._resume.release()
-        self._engine_sem.acquire()
+        self._engine_lock.acquire()
         self._current = None
 
     def wake_soon(self, proc: SimProcess) -> None:
@@ -234,7 +251,7 @@ class Scheduler:
         self.engine.schedule(0.0, self.wake_now, proc)
 
     def _hand_to_engine(self) -> None:
-        self._engine_sem.release()
+        self._engine_lock.release()
 
     def _on_process_exit(self, proc: SimProcess, exc: BaseException | None) -> None:
         if exc is not None:
@@ -245,7 +262,7 @@ class Scheduler:
                 proc.finished.succeed(None)
         else:
             proc.finished.succeed(proc.result)
-        self._engine_sem.release()
+        self._engine_lock.release()
 
     def _blocked_processes(self) -> list[str]:
         return [

@@ -36,6 +36,11 @@ class SecurityConfig:
     #: authenticate the (source, tag) header as AAD — an extension over
     #: the paper, which authenticates only the payload
     bind_header: bool = False
+    #: which registered AEAD backend performs the real byte work
+    #: ("auto" = fastest available; see repro.crypto.aead.get_aead).
+    #: The *library* field above selects the calibrated cost profile —
+    #: the two are independent by design.
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.library not in PROFILED_LIBRARIES:
@@ -70,4 +75,5 @@ class SecurityConfig:
             crypto_mode=self.crypto_mode,
             key=key,
             bind_header=self.bind_header,
+            backend=self.backend,
         )

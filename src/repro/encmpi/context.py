@@ -79,7 +79,7 @@ class EncryptedComm:
             ctx._cluster.network.name,
             self.config.key_bits,
         )
-        self._aead = get_aead(self.config.key)
+        self._aead = get_aead(self.config.key, self.config.backend)
         self._nonces = make_nonce_source(self.config.nonce_strategy, ctx.rank)
         #: counters for reporting
         self.bytes_encrypted = 0

@@ -1,0 +1,237 @@
+"""Core performance benchmarks of the substrate itself.
+
+The simulator is deterministic, so the *virtual* results never move —
+what can regress is the wall-clock cost of producing them.  This module
+times the hot paths the reproduction leans on (pure-Python AES-GCM,
+the event engine, process handoff, the simulated transport, and one
+end-to-end experiment) and writes the numbers to ``BENCH_core.json``
+so a checked-in baseline travels with the code.
+
+Two modes:
+
+- ``full`` — the committed baseline: paper-scale payloads and event
+  counts (64 KiB GCM, 200k events, the slow fig6 experiment);
+- ``smoke`` — seconds-not-minutes variant for ``make bench`` and CI;
+  never meant to overwrite the committed baseline.
+
+Run via ``python -m repro.experiments bench [--smoke] [--output PATH]
+[--baseline PATH]``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from typing import Any, Callable
+
+SCHEMA = 1
+
+#: name -> (description, runner(mode) -> dict with at least "seconds")
+_BENCHES: dict[str, tuple[str, Callable[[str], dict]]] = {}
+
+
+def _bench(name: str, description: str):
+    def register(fn: Callable[[str], dict]):
+        _BENCHES[name] = (description, fn)
+        return fn
+
+    return register
+
+
+def _timed(fn: Callable[[], Any]) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+# --------------------------------------------------------------------------
+# crypto hot path
+
+
+def _gcm_sizes(mode: str) -> tuple[int, int]:
+    """(payload bytes, repetitions) for the GCM benches."""
+    return (65536, 3) if mode == "full" else (4096, 2)
+
+
+@_bench("gcm_seal", "pure-Python AES-GCM seal (T-tables + GHASH tables)")
+def _bench_gcm_seal(mode: str) -> dict:
+    from repro.crypto.aead import get_aead
+
+    size, reps = _gcm_sizes(mode)
+    aead = get_aead(bytes(range(32)), "pure")
+    payload = bytes((7 * i + 13) & 0xFF for i in range(size))
+    nonce = bytes(12)
+    aead.seal(nonce, payload)  # warm the per-key table caches
+    seconds = min(_timed(lambda: aead.seal(nonce, payload)) for _ in range(reps))
+    return {"seconds": seconds, "bytes": size, "reps": reps}
+
+
+@_bench("gcm_open", "pure-Python AES-GCM open (decrypt + tag verify)")
+def _bench_gcm_open(mode: str) -> dict:
+    from repro.crypto.aead import get_aead
+
+    size, reps = _gcm_sizes(mode)
+    aead = get_aead(bytes(range(32)), "pure")
+    payload = bytes((7 * i + 13) & 0xFF for i in range(size))
+    nonce = bytes(12)
+    framed = aead.seal(nonce, payload)
+    seconds = min(_timed(lambda: aead.open(nonce, framed)) for _ in range(reps))
+    return {"seconds": seconds, "bytes": size, "reps": reps}
+
+
+# --------------------------------------------------------------------------
+# simulator hot paths
+
+
+@_bench("des_events", "event engine schedule/dispatch chain")
+def _bench_des_events(mode: str) -> dict:
+    from repro.des.engine import Engine
+
+    count = 200_000 if mode == "full" else 20_000
+
+    def run() -> None:
+        engine = Engine()
+        remaining = [count]
+
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0]:
+                engine.schedule(1.0, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+
+    return {"seconds": _timed(run), "events": count}
+
+
+@_bench("process_handoff", "scheduler thread-handoff round trips")
+def _bench_process_handoff(mode: str) -> dict:
+    from repro.des.process import Scheduler
+
+    sleeps = 5_000 if mode == "full" else 500
+    nprocs = 4
+
+    def run() -> None:
+        sched = Scheduler()
+
+        def prog() -> None:
+            me = sched.current()
+            for _ in range(sleeps):
+                me.sleep(1e-6)
+
+        for _ in range(nprocs):
+            sched.spawn(prog)
+        sched.run()
+
+    return {"seconds": _timed(run), "handoffs": sleeps * nprocs}
+
+
+@_bench("simmpi_messages", "simulated point-to-point message rate")
+def _bench_simmpi_messages(mode: str) -> dict:
+    from repro.models.cpu import TWO_NODE_CLUSTER
+    from repro.simmpi import run_program
+
+    n = 2_000 if mode == "full" else 200
+
+    def prog(ctx) -> None:
+        if ctx.rank == 0:
+            for _ in range(n):
+                ctx.comm.send(b"x" * 64, 1, tag=0)
+        else:
+            for _ in range(n):
+                ctx.comm.recv(0, 0)
+
+    return {
+        "seconds": _timed(
+            lambda: run_program(2, prog, cluster=TWO_NODE_CLUSTER)
+        ),
+        "messages": n,
+    }
+
+
+# --------------------------------------------------------------------------
+# end-to-end experiments
+
+
+@_bench("experiment_fig4", "fig4 end-to-end (multi-pair 1B, fast cost)")
+def _bench_experiment_fig4(_mode: str) -> dict:
+    from repro.experiments.figures import fig4
+
+    return {"seconds": _timed(fig4)}
+
+
+@_bench("experiment_fig6", "fig6 end-to-end (multi-pair 2MB, slow cost)")
+def _bench_experiment_fig6(mode: str) -> dict:
+    if mode != "full":
+        return {"seconds": None, "skipped": "slow experiment; full mode only"}
+    from repro.experiments.figures import fig6
+
+    return {"seconds": _timed(fig6)}
+
+
+# --------------------------------------------------------------------------
+# driver
+
+
+def run_core_benches(mode: str = "full") -> dict:
+    """Run every registered bench; returns the BENCH_core.json document."""
+    if mode not in ("full", "smoke"):
+        raise ValueError(f"unknown bench mode {mode!r}")
+    benches: dict[str, dict] = {}
+    for name, (description, fn) in _BENCHES.items():
+        result = fn(mode)
+        result["description"] = description
+        benches[name] = result
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "benches": benches,
+    }
+
+
+def render(doc: dict, baseline: dict | None = None) -> str:
+    """Human-readable table; with *baseline*, adds a speedup column."""
+    lines = [f"core benches ({doc['mode']} mode, python {doc['python']})"]
+    if baseline is not None and baseline.get("mode") != doc["mode"]:
+        lines.append(
+            f"NOTE: baseline is {baseline.get('mode')}-mode — payloads differ, "
+            "speedups are not comparable"
+        )
+    header = f"{'bench':18s} {'seconds':>10s}"
+    if baseline is not None:
+        header += f" {'baseline':>10s} {'speedup':>8s}"
+    lines.append(header)
+    for name, result in doc["benches"].items():
+        secs = result.get("seconds")
+        if secs is None:
+            lines.append(f"{name:18s} {'skipped':>10s}")
+            continue
+        row = f"{name:18s} {secs:10.4f}"
+        if baseline is not None:
+            base = baseline.get("benches", {}).get(name, {}).get("seconds")
+            if base is None:
+                row += f" {'-':>10s} {'-':>8s}"
+            else:
+                row += f" {base:10.4f} {base / secs:7.2f}x"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"baseline {path} has schema {doc.get('schema')!r}, expected {SCHEMA}"
+        )
+    return doc
+
+
+def write_doc(doc: dict, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")

@@ -44,31 +44,44 @@ def _cmd_run(args) -> int:
         import os
 
         os.makedirs(out_dir, exist_ok=True)
-    failures = 0
+    as_json = getattr(args, "json", False)
+    json_docs: list[dict] = []
+    failed: list[str] = []
     for exp_id in dict.fromkeys(ids):  # dedupe, keep order
         exp = get_experiment(exp_id)
         t0 = time.time()
-        print(f"--- running {exp.id} ({exp.paper_ref}; cost: {exp.cost}) ---")
+        if not as_json:
+            print(f"--- running {exp.id} ({exp.paper_ref}; cost: {exp.cost}) ---")
         try:
             artifact = exp.runner()
         except Exception as exc:  # noqa: BLE001 - report and continue
             print(f"{exp.id} FAILED: {exc!r}", file=sys.stderr)
-            failures += 1
+            failed.append(exp.id)
             continue
-        print(artifact.render())
-        print(f"[{exp.id} took {time.time() - t0:.1f}s]\n")
+        if as_json:
+            json_docs.append(_artifact_dict(exp, artifact))
+        else:
+            print(artifact.render())
+            print(f"[{exp.id} took {time.time() - t0:.1f}s]\n")
         if out_dir:
             _export(out_dir, exp, artifact)
-    return 1 if failures else 0
+    if as_json:
+        import json
+
+        print(json.dumps(json_docs if len(json_docs) != 1 else json_docs[0],
+                         indent=2))
+    if failed:
+        print(
+            f"{len(failed)} of {len(dict.fromkeys(ids))} experiments failed: "
+            + ", ".join(failed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
-def _export(out_dir: str, exp, artifact) -> None:
-    """Write <id>.txt (rendered) and <id>.json (structured) artifacts."""
-    import json
-    import os
-
-    with open(os.path.join(out_dir, f"{exp.id}.txt"), "w") as fh:
-        fh.write(artifact.render() + "\n")
+def _artifact_dict(exp, artifact) -> dict:
+    """Structured form of an artifact (the run --json / --output schema)."""
     body = artifact.body
     data: dict = {
         "experiment": exp.id,
@@ -91,8 +104,37 @@ def _export(out_dir: str, exp, artifact) -> None:
         data["series"] = [
             {"label": s.label, "points": s.points} for s in body.series
         ]
+    return data
+
+
+def _export(out_dir: str, exp, artifact) -> None:
+    """Write <id>.txt (rendered) and <id>.json (structured) artifacts."""
+    import json
+    import os
+
+    with open(os.path.join(out_dir, f"{exp.id}.txt"), "w") as fh:
+        fh.write(artifact.render() + "\n")
     with open(os.path.join(out_dir, f"{exp.id}.json"), "w") as fh:
-        json.dump(data, fh, indent=2)
+        json.dump(_artifact_dict(exp, artifact), fh, indent=2)
+
+
+def _cmd_bench(args) -> int:
+    from repro.experiments import bench
+
+    mode = "smoke" if args.smoke else "full"
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = bench.load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    doc = bench.run_core_benches(mode)
+    print(bench.render(doc, baseline))
+    if args.output:
+        bench.write_doc(doc, args.output)
+        print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_nas(args) -> int:
@@ -164,7 +206,31 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also write <id>.txt and structured <id>.json into DIR",
     )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        help="print structured JSON to stdout instead of rendered text",
+    )
     run.set_defaults(func=_cmd_run)
+    bench = sub.add_parser(
+        "bench", help="time the substrate's hot paths (BENCH_core.json)"
+    )
+    bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-not-minutes variant; skips slow experiments",
+    )
+    bench.add_argument(
+        "--output",
+        metavar="PATH",
+        help="write the JSON document to PATH (e.g. BENCH_core.json)",
+    )
+    bench.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="compare against a previously written JSON document",
+    )
+    bench.set_defaults(func=_cmd_bench)
     nas = sub.add_parser("nas", help="run one NAS proxy at paper scale")
     nas.add_argument("benchmark", help="bt|cg|ep|ft|is|lu|mg|sp|all")
     nas.add_argument("--network", default="ethernet",

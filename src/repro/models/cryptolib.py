@@ -40,13 +40,23 @@ class CryptoLibraryProfile:
     encdec_curve: LogLogCurve
     framing_overhead: float  # seconds per encrypt or decrypt call
 
+    def __post_init__(self) -> None:
+        # Per-size memo (see NetworkModel): one entry per distinct
+        # message size, evaluated once instead of per simulated message.
+        object.__setattr__(self, "_memo", {})
+
     def encdec_throughput(self, size: int) -> float:
         """The paper's Fig. 2/9 metric in bytes/s: enc+dec of *size*
         bytes takes ``size / encdec_throughput(size)``."""
         if size < 1:
             size = 1
-        scale = calibration.KEY128_SPEEDUP if self.key_bits == 128 else 1.0
-        return self.encdec_curve(size) * 1e6 * scale
+        memo = self._memo
+        key = ("tp", size)
+        v = memo.get(key)
+        if v is None:
+            scale = calibration.KEY128_SPEEDUP if self.key_bits == 128 else 1.0
+            memo[key] = v = self.encdec_curve(size) * 1e6 * scale
+        return v
 
     def encrypt_time(self, size: int, slowdown: float = 1.0) -> float:
         """Seconds one core spends encrypting an *size*-byte message
@@ -67,6 +77,11 @@ class CryptoLibraryProfile:
         return self._op_time(size, slowdown)
 
     def _op_time(self, size: int, slowdown: float = 1.0) -> float:
+        memo = self._memo
+        key = ("op", size, slowdown)
+        v = memo.get(key)
+        if v is not None:
+            return v
         if size < 0:
             raise ValueError(f"negative message size: {size}")
         if slowdown < 1.0:
@@ -74,11 +89,17 @@ class CryptoLibraryProfile:
         bulk = 0.0
         if size > 0:
             bulk = size / (2.0 * self.encdec_throughput(size)) * slowdown
-        return bulk + self.framing_overhead
+        memo[key] = v = bulk + self.framing_overhead
+        return v
 
     def encdec_time(self, size: int, slowdown: float = 1.0) -> float:
         """Seconds for encrypt followed by decrypt (the benchmark loop)."""
         return self.encrypt_time(size, slowdown) + self.decrypt_time(size, slowdown)
+
+
+#: Shared profile singletons — frozen instances, so sharing is safe and
+#: lets the per-size memo persist across experiments.
+_PROFILE_CACHE: dict[tuple[str, str, int], CryptoLibraryProfile] = {}
 
 
 def get_profile(
@@ -86,6 +107,9 @@ def get_profile(
 ) -> CryptoLibraryProfile:
     """Look up the calibrated profile for *library* under *compiler*."""
     lib = library.lower()
+    cached = _PROFILE_CACHE.get((lib, compiler, key_bits))
+    if cached is not None:
+        return cached
     if lib not in PROFILED_LIBRARIES:
         raise ValueError(
             f"unknown cryptographic library {library!r}; "
@@ -101,13 +125,15 @@ def get_profile(
     table = (
         calibration.ENCDEC_GCC if compiler == "gcc" else calibration.ENCDEC_MVAPICH
     )[lib]
-    return CryptoLibraryProfile(
+    profile = CryptoLibraryProfile(
         library=lib,
         compiler=compiler,
         key_bits=key_bits,
         encdec_curve=LogLogCurve(table),
         framing_overhead=calibration.FRAMING_OVERHEAD[lib],
     )
+    _PROFILE_CACHE[(lib, compiler, key_bits)] = profile
+    return profile
 
 
 def profile_for_network(library: str, network_name: str, key_bits: int = 256):

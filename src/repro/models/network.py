@@ -54,33 +54,66 @@ class NetworkModel:
         repr=False,
     )
 
+    def __post_init__(self) -> None:
+        # Per-size memo: every simulated message evaluates several of
+        # the lookups below, and an experiment only ever uses a handful
+        # of distinct sizes — so each is computed once per instance.
+        # (object.__setattr__ because the dataclass is frozen; the memo
+        # is not a field, so eq/repr are unaffected.)
+        object.__setattr__(self, "_memo", {})
+
     # -- inter-node path -----------------------------------------------------
 
     def pingpong_oneway_time(self, size: int) -> float:
         """Calibrated one-way time for a solitary matched message."""
-        s = max(size, 1)
-        return s / (self.pp_curve(s) * 1e6)
+        memo = self._memo
+        key = ("pp", size)
+        v = memo.get(key)
+        if v is None:
+            s = max(size, 1)
+            memo[key] = v = s / (self.pp_curve(s) * 1e6)
+        return v
 
     def stream_bandwidth(self, size: int) -> float:
         """Pipelined per-stream bandwidth in bytes/s for *size*-byte msgs."""
-        return self.stream_curve(max(size, 1)) * 1e6
+        memo = self._memo
+        key = ("bw", size)
+        v = memo.get(key)
+        if v is None:
+            memo[key] = v = self.stream_curve(max(size, 1)) * 1e6
+        return v
 
     def send_overhead(self, size: int) -> float:
         """Sender CPU time per message (descriptor + eager copy)."""
-        t = self.msg_overhead
-        if 0 < size <= self.eager_threshold:
-            t += size / self.copy_bw
-        return t
+        memo = self._memo
+        key = ("so", size)
+        v = memo.get(key)
+        if v is None:
+            v = self.msg_overhead
+            if 0 < size <= self.eager_threshold:
+                v += size / self.copy_bw
+            memo[key] = v
+        return v
 
     def recv_overhead(self, size: int) -> float:
         """Receiver CPU time per message (matching + eager copy-out)."""
-        t = self.msg_overhead
-        if 0 < size <= self.eager_threshold:
-            t += size / self.copy_bw
-        return t
+        memo = self._memo
+        key = ("ro", size)
+        v = memo.get(key)
+        if v is None:
+            v = self.msg_overhead
+            if 0 < size <= self.eager_threshold:
+                v += size / self.copy_bw
+            memo[key] = v
+        return v
 
     def proto_delay(self, size: int) -> float:
         """Per-message residual latency (pipelinable across a stream)."""
+        memo = self._memo
+        key = ("pd", size)
+        v = memo.get(key)
+        if v is not None:
+            return v
         s = max(size, 1)
         ideal = (
             self.send_overhead(size)
@@ -91,7 +124,8 @@ class NetworkModel:
         )
         if size > self.eager_threshold:
             ideal += self.rendezvous_handshake()
-        return max(0.0, self.pingpong_oneway_time(size) - ideal)
+        memo[key] = v = max(0.0, self.pingpong_oneway_time(size) - ideal)
+        return v
 
     def rendezvous_handshake(self) -> float:
         """RTS/CTS exchange cost once a rendezvous pairing exists."""
@@ -106,8 +140,15 @@ class NetworkModel:
         Grows past ``contention_free_senders`` to reproduce the IB
         aggregate drop between 4 and 8 pairs (Fig. 11).
         """
-        extra = max(0, concurrent_senders - self.contention_free_senders)
-        return self.nic_msg_time * (1.0 + self.contention_factor * extra)
+        memo = self._memo
+        key = ("nic", concurrent_senders)
+        v = memo.get(key)
+        if v is None:
+            extra = max(0, concurrent_senders - self.contention_free_senders)
+            memo[key] = v = self.nic_msg_time * (
+                1.0 + self.contention_factor * extra
+            )
+        return v
 
     # -- intra-node path -------------------------------------------------------
 
@@ -118,6 +159,19 @@ class NetworkModel:
             + self.shm_latency
             + s / self.shm_curve(s)
         )
+
+    def shm_delivery_delay(self, size: int) -> float:
+        """Wire-side shm delay: latency plus the copy through the
+        shared-memory bandwidth curve (the transport's delivery leg)."""
+        memo = self._memo
+        key = ("shmd", size)
+        v = memo.get(key)
+        if v is None:
+            v = self.shm_latency
+            if size > 0:
+                v += size / self.shm_curve(size)
+            memo[key] = v
+        return v
 
     def shm_overhead(self, size: int) -> float:
         t = self.shm_msg_overhead
@@ -136,14 +190,26 @@ def _build(name: str) -> NetworkModel:
     )
 
 
+#: Shared singletons per fabric: NetworkModel is frozen/immutable, so
+#: every caller can use one instance — which also shares its per-size
+#: memo across experiments instead of re-interpolating the curves.
+_MODEL_CACHE: dict[str, NetworkModel] = {}
+
+
 def ethernet_10g() -> NetworkModel:
     """The paper's 10 Gb Ethernet (Intel 82599ES) + MPICH-3.2.1 stack."""
-    return _build("ethernet")
+    model = _MODEL_CACHE.get("ethernet")
+    if model is None:
+        model = _MODEL_CACHE["ethernet"] = _build("ethernet")
+    return model
 
 
 def infiniband_40g() -> NetworkModel:
     """The paper's 40 Gb IB QDR (Mellanox ConnectX) + MVAPICH2-2.3 stack."""
-    return _build("infiniband")
+    model = _MODEL_CACHE.get("infiniband")
+    if model is None:
+        model = _MODEL_CACHE["infiniband"] = _build("infiniband")
+    return model
 
 
 def get_network(name: str) -> NetworkModel:

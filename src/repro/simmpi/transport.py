@@ -93,10 +93,7 @@ class Transport:
         proc = self.sched.current()
         proc.sleep(self.net.shm_msg_overhead)
         env.info["recv_overhead"] = self.net.shm_msg_overhead
-        delay = self.net.shm_latency
-        if size > 0:
-            delay += size / self.net.shm_curve(size)
-        self._deliver_after(env, delay)
+        self._deliver_after(env, self.net.shm_delivery_delay(size))
         on_sent()
 
     # -- eager -------------------------------------------------------------

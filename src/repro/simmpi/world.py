@@ -26,6 +26,9 @@ class RankContext:
         self.comm = comm
         self._scheduler = scheduler
         self._cluster = cluster
+        #: encrypted communicator, populated by repro.api.run_job when a
+        #: SecurityConfig is supplied (None on plain-MPI jobs)
+        self.enc = None
 
     @property
     def rank(self) -> int:

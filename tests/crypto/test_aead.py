@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro.crypto.aead import WIRE_OVERHEAD, available_backends, get_aead
-from repro.crypto.backends import HAVE_OPENSSL, PureAEAD
+from repro.crypto.backends import HAVE_OPENSSL
 from repro.crypto.errors import AuthenticationError, CryptoError, KeyFormatError
 
 KEY = bytes(range(32))
@@ -74,4 +74,4 @@ def test_bad_key_rejected():
     with pytest.raises(KeyFormatError):
         get_aead(bytes(20))
     with pytest.raises(KeyFormatError):
-        PureAEAD("not-bytes")  # type: ignore[arg-type]
+        get_aead("not-bytes", "pure")  # type: ignore[arg-type]

@@ -66,3 +66,65 @@ def test_run_unknown_experiment():
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_run_json_flag_prints_structured_document(capsys):
+    import json
+
+    assert main(["run", "fig2", "--json"]) == 0
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert data["experiment"] == "fig2"
+    assert data["kind"] == "figure"
+    # rendered chrome must not pollute the JSON stream
+    assert "--- running" not in out
+
+
+def test_run_json_flag_multiple_ids_yields_list(capsys):
+    import json
+
+    assert main(["run", "fig2", "table1", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert [d["experiment"] for d in data] == ["fig2", "table1"]
+
+
+def test_run_failure_exits_nonzero_with_summary(capsys, monkeypatch):
+    from dataclasses import replace
+
+    from repro.experiments import cli
+    from repro.experiments.registry import get_experiment
+
+    def broken(exp_id):
+        exp = get_experiment("fig2" if exp_id == "broken" else exp_id)
+        if exp_id == "broken":
+            def boom():
+                raise RuntimeError("synthetic artifact failure")
+
+            return replace(exp, id="broken", runner=boom)
+        return exp
+
+    monkeypatch.setattr(cli, "get_experiment", broken)
+    assert main(["run", "broken", "fig2"]) == 1
+    err = capsys.readouterr().err
+    assert "broken FAILED" in err
+    assert "1 of 2 experiments failed: broken" in err
+
+
+def test_bench_smoke_subcommand(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "bench.json"
+    assert main(["bench", "--smoke", "--output", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "gcm_seal" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["mode"] == "smoke"
+    assert doc["benches"]["experiment_fig6"]["seconds"] is None
+
+
+def test_bench_baseline_comparison(tmp_path, capsys):
+    out_path = tmp_path / "bench.json"
+    assert main(["bench", "--smoke", "--output", str(out_path)]) == 0
+    capsys.readouterr()
+    assert main(["bench", "--smoke", "--baseline", str(out_path)]) == 0
+    assert "speedup" in capsys.readouterr().out

@@ -58,6 +58,7 @@ def test_encrypted_slower_than_baseline_small_scale(name):
     assert enc.total_seconds > base.total_seconds
 
 
+@pytest.mark.slow
 def test_library_ranking_small_scale():
     times = {
         lib: run_nas("ft", nranks=8, cluster=SMALL, library=lib).total_seconds
