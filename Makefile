@@ -3,6 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test test-fast test-all bench bench-baseline bench-pytest \
+	trace-goldens check-tracing-overhead \
 	experiments-fast experiments-all examples clean
 
 install:
@@ -28,6 +29,17 @@ bench-baseline:
 
 bench-pytest:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate the golden-trace fixture after an intentional behavior change
+# (review the digest diff — it is a statement that observable simulation
+# behavior moved).
+trace-goldens:
+	$(PYTHON) -m repro.experiments trace --write-goldens
+
+# Assert the guarded trace-emit sites cost <2% with tracing disabled,
+# against the committed full-mode baseline (minutes; wall-clock sensitive).
+check-tracing-overhead:
+	$(PYTHON) -m repro.experiments bench --check-tracing --baseline BENCH_core.json
 
 experiments-fast:
 	$(PYTHON) -m repro.experiments run fast

@@ -66,7 +66,11 @@ class JobResult:
     duration: float
     #: per-rank (start, end) virtual times
     spans: list = field(default_factory=list)
-    #: CommTrace when run_job(trace=True), else None
+    #: observability payload: a :class:`repro.simmpi.tracing.CommTrace`
+    #: when run_job(trace=True); a
+    #: :class:`repro.simmpi.tracing.TraceRecorder` (full structured
+    #: event stream, ``.comm`` holds the CommTrace view) when
+    #: run_job(trace="events") or a recorder instance; else None
     trace: Any = None
     #: the security configuration the job ran under (None = plain MPI)
     security: SecurityConfig | None = None
@@ -100,7 +104,7 @@ def run_job(
     network: str | NetworkModel = "ethernet",
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
-    trace: bool = False,
+    trace: Any = False,
     fault_injector: Any = None,
 ) -> JobResult:
     """Run *workload* on *nranks* simulated ranks; the facade's mpiexec.
@@ -110,6 +114,13 @@ def run_job(
     the workload chooses per call whether to speak plain (``ctx.comm``)
     or encrypted (``ctx.enc``) MPI.  All arguments except the workload
     are keyword-only.
+
+    *trace* selects the observability level.  ``False`` (default) costs
+    nothing; ``True`` aggregates per-route statistics into a CommTrace;
+    ``"events"`` — or a :class:`repro.simmpi.tracing.TraceRecorder` you
+    construct yourself — records the full structured event stream
+    (engine, transport, collective, AEAD layers) and per-rank counters,
+    exportable as JSONL or a Chrome ``about://tracing`` file.
     """
     if security is None:
         program = workload
@@ -147,12 +158,15 @@ def sweep(
     securities: Iterable[SecurityConfig | None] = (None,),
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
-    trace: bool = False,
+    trace: Any = False,
 ) -> list[SweepPoint]:
     """Run *workload* across the (network × security) grid.
 
     The grid order is deterministic: networks outermost, securities in
     the order given.  Each cell is an independent :func:`run_job`.
+    *trace* is forwarded to every cell (see :func:`run_job`); note that
+    passing one TraceRecorder instance across cells raises — each job
+    needs its own recorder, so use ``trace="events"`` for sweeps.
     """
     securities = tuple(securities)
     points: list[SweepPoint] = []

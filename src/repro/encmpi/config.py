@@ -41,6 +41,12 @@ class SecurityConfig:
     #: The *library* field above selects the calibrated cost profile —
     #: the two are independent by design.
     backend: str = "auto"
+    #: sliding-window anti-replay protection (repro.encmpi.replay).
+    #: 0 disables the check (the paper's threat model, §III footnote 1);
+    #: a positive value is the per-source acceptance window and requires
+    #: nonce_strategy="counter" so the receiver can read the sequence
+    #: counter out of the nonce.
+    replay_window: int = 0
 
     def __post_init__(self) -> None:
         if self.library not in PROFILED_LIBRARIES:
@@ -65,6 +71,13 @@ class SecurityConfig:
                 f"key length {len(self.key)} bytes does not match "
                 f"key_bits={self.key_bits}"
             )
+        if self.replay_window < 0:
+            raise ValueError(f"replay_window must be >= 0, got {self.replay_window}")
+        if self.replay_window and self.nonce_strategy != "counter":
+            raise ValueError(
+                "replay protection requires nonce_strategy='counter' "
+                "(random nonces carry no sequence counter)"
+            )
 
     def with_key(self, key: bytes) -> "SecurityConfig":
         """A copy of this config using *key* (e.g. from key exchange)."""
@@ -76,4 +89,5 @@ class SecurityConfig:
             key=key,
             bind_header=self.bind_header,
             backend=self.backend,
+            replay_window=self.replay_window,
         )

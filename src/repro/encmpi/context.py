@@ -16,6 +16,7 @@ from repro.crypto.aead import NONCE_SIZE, WIRE_OVERHEAD, get_aead
 from repro.crypto.errors import AuthenticationError
 from repro.crypto.nonces import make_nonce_source
 from repro.encmpi.config import SecurityConfig
+from repro.encmpi.replay import ReplayError, ReplayGuard, counter_of_nonce
 from repro.models.cryptolib import CryptoLibraryProfile, profile_for_network
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, OpaquePayload
 from repro.simmpi.request import Request
@@ -55,6 +56,8 @@ class EncryptedRequest:
             aad = b""
             if status is not None and self._owner.config.bind_header:
                 aad = self._owner._aad_for_peer(status.source, status.tag)
+            if status is not None:
+                self._owner._replay_check(status.source, value)
             self._result = self._owner._decrypt_charged(value, aad)
         return self._result
 
@@ -81,11 +84,16 @@ class EncryptedComm:
         )
         self._aead = get_aead(self.config.key, self.config.backend)
         self._nonces = make_nonce_source(self.config.nonce_strategy, ctx.rank)
+        #: per-source anti-replay windows (populated lazily when
+        #: config.replay_window > 0)
+        self._replay_guards: dict[int, ReplayGuard] = {}
         #: counters for reporting
         self.bytes_encrypted = 0
         self.bytes_decrypted = 0
         self.messages_sent = 0
         self.messages_received = 0
+        self.auth_failures = 0
+        self.replay_drops = 0
 
     @property
     def rank(self) -> int:
@@ -101,11 +109,18 @@ class EncryptedComm:
 
     def _encrypt_charged(self, plaintext: bytes, aad: bytes = b"") -> bytes:
         """Charge virtual encryption time and frame the message."""
-        self.ctx.compute(
-            self.profile.encrypt_time(len(plaintext), self.crypto_slowdown)
-        )
+        dur = self.profile.encrypt_time(len(plaintext), self.crypto_slowdown)
+        self.ctx.compute(dur)
         self.bytes_encrypted += len(plaintext)
         nonce = self._nonces.next()
+        rec = self.ctx.recorder
+        if rec is not None:
+            rec.emit("aead", "seal", self.rank, backend=self._aead.name,
+                     bytes=len(plaintext), dur=dur)
+            c = rec.rank_counters(self.rank)
+            c.aead_seals += 1
+            c.bytes_sealed += len(plaintext)
+            c.nonces_consumed += 1
         if self.config.crypto_mode == "real":
             return nonce + self._aead.seal(nonce, plaintext, aad)
         # Modeled: time already charged; ship the plaintext inside a
@@ -116,17 +131,66 @@ class EncryptedComm:
 
     def _decrypt_charged(self, wire, aad: bytes = b"") -> bytes:
         plain_len = self._plaintext_len(wire)
-        self.ctx.compute(self.profile.decrypt_time(plain_len, self.crypto_slowdown))
+        dur = self.profile.decrypt_time(plain_len, self.crypto_slowdown)
+        self.ctx.compute(dur)
         self.bytes_decrypted += plain_len
-        if len(wire) < WIRE_OVERHEAD:
-            raise AuthenticationError("message shorter than nonce + tag")
-        if isinstance(wire, OpaquePayload):
-            # Zero-copy modeled frame: the plaintext rides inside.
-            return wire.base
-        nonce, body = wire[:NONCE_SIZE], wire[NONCE_SIZE:]
-        if self.config.crypto_mode == "real":
-            return self._aead.open(nonce, body, aad)
-        return body[:-16]
+        try:
+            if len(wire) < WIRE_OVERHEAD:
+                raise AuthenticationError("message shorter than nonce + tag")
+            if isinstance(wire, OpaquePayload):
+                # Zero-copy modeled frame: the plaintext rides inside.
+                plain = wire.base
+            else:
+                nonce, body = wire[:NONCE_SIZE], wire[NONCE_SIZE:]
+                if self.config.crypto_mode == "real":
+                    plain = self._aead.open(nonce, body, aad)
+                else:
+                    plain = body[:-16]
+        except AuthenticationError:
+            self._record_auth_fail(plain_len)
+            raise
+        rec = self.ctx.recorder
+        if rec is not None:
+            rec.emit("aead", "open", self.rank, backend=self._aead.name,
+                     bytes=plain_len, dur=dur)
+            c = rec.rank_counters(self.rank)
+            c.aead_opens += 1
+            c.bytes_opened += plain_len
+        return plain
+
+    def _record_auth_fail(self, plain_len: int) -> None:
+        self.auth_failures += 1
+        rec = self.ctx.recorder
+        if rec is not None:
+            rec.emit("aead", "auth_fail", self.rank, bytes=plain_len)
+            rec.rank_counters(self.rank).auth_failures += 1
+
+    def _replay_check(self, source: int, wire) -> None:
+        """Sliding-window anti-replay check for a point-to-point message.
+
+        Reads the sequence counter out of the (counter-strategy) nonce
+        and runs it through the per-source :class:`ReplayGuard`.  A
+        rejected message surfaces as :class:`ReplayError` from ``wait``
+        and as a ``replay_drop`` trace event.  No-op unless
+        ``config.replay_window > 0``.
+        """
+        if self.config.replay_window <= 0:
+            return
+        nonce = wire.prefix if isinstance(wire, OpaquePayload) else bytes(wire[:NONCE_SIZE])
+        counter = counter_of_nonce(nonce)
+        guard = self._replay_guards.get(source)
+        if guard is None:
+            guard = self._replay_guards[source] = ReplayGuard(self.config.replay_window)
+        try:
+            guard.check(counter)
+        except ReplayError:
+            self.replay_drops += 1
+            rec = self.ctx.recorder
+            if rec is not None:
+                rec.emit("aead", "replay_drop", self.rank, src=source,
+                         counter=counter)
+                rec.rank_counters(self.rank).replay_drops += 1
+            raise
 
     def _plaintext_len(self, wire: bytes) -> int:
         return max(0, len(wire) - WIRE_OVERHEAD)

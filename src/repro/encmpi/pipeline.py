@@ -95,6 +95,7 @@ class PipelinedCrypto:
             self.enc.profile, size, self._cores_available(), self.chunk_bytes
         )
         self.enc.ctx.compute(plan.parallel_time)
+        self._emit_aead("seal", size, plan)
         return plan
 
     def charge_decrypt(self, size: int) -> PipelinePlan:
@@ -102,7 +103,31 @@ class PipelinedCrypto:
             self.enc.profile, size, self._cores_available(), self.chunk_bytes
         )
         self.enc.ctx.compute(plan.parallel_time)
+        self._emit_aead("open", size, plan)
         return plan
+
+    def _emit_aead(self, kind: str, size: int, plan: PipelinePlan) -> None:
+        rec = self.enc.ctx.recorder
+        if rec is None:
+            return
+        rank = self.enc.rank
+        rec.emit("aead", kind, rank, backend=self.enc._aead.name,
+                 bytes=size, dur=plan.parallel_time, cores=plan.cores,
+                 chunks=plan.nchunks)
+        counters = rec.rank_counters(rank)
+        if kind == "seal":
+            counters.aead_seals += 1
+            counters.bytes_sealed += size
+        else:
+            counters.aead_opens += 1
+            counters.bytes_opened += size
+
+    def _consume_nonce(self) -> bytes:
+        nonce = self.enc._nonces.next()
+        rec = self.enc.ctx.recorder
+        if rec is not None:
+            rec.rank_counters(self.enc.rank).nonces_consumed += 1
+        return nonce
 
     def send(self, data: bytes, dest: int, tag: int = 0) -> PipelinePlan:
         """Pipelined variant of EncryptedComm.send for bulk payloads."""
@@ -125,11 +150,11 @@ class PipelinedCrypto:
         if self.enc.config.crypto_mode != "real":
             from repro.simmpi.message import OpaquePayload
 
-            return OpaquePayload(self.enc._nonces.next(), data, bytes(16))
+            return OpaquePayload(self._consume_nonce(), data, bytes(16))
         parts = []
         for off in range(0, max(len(data), 1), self.chunk_bytes):
             chunk = data[off : off + self.chunk_bytes]
-            nonce = self.enc._nonces.next()
+            nonce = self._consume_nonce()
             parts.append(len(chunk).to_bytes(4, "big"))
             parts.append(nonce + self.enc._aead.seal(nonce, chunk))
         return b"".join(parts)

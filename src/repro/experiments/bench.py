@@ -172,6 +172,52 @@ def _bench_experiment_fig6(mode: str) -> dict:
 
 
 # --------------------------------------------------------------------------
+# tracing overhead
+
+
+#: simulator benches whose hot paths carry the guarded trace-emit sites
+TRACING_SENSITIVE = ("des_events", "process_handoff", "simmpi_messages")
+
+
+def check_tracing_overhead(
+    baseline: dict, threshold: float = 0.02, mode: str = "full", reps: int = 3
+) -> tuple[bool, str]:
+    """Assert that *disabled* tracing stays within *threshold* of baseline.
+
+    Tracing is off by default, so re-running the simulator benches today
+    and comparing against the committed ``BENCH_core.json`` (recorded on
+    this container) bounds the cost of the guarded emit sites on the hot
+    paths.  Each bench runs *reps* times and the best time is compared —
+    wall-clock noise is real, which is why this is an opt-in check
+    (``make check-tracing-overhead``), not part of tier-1.
+    """
+    if baseline.get("mode") != mode:
+        raise ValueError(
+            f"baseline is {baseline.get('mode')!r}-mode; need {mode!r} "
+            "(payload sizes differ between modes)"
+        )
+    lines = [f"tracing-overhead check (threshold {threshold * 100:.0f}%, best of {reps})"]
+    ok = True
+    for name in TRACING_SENSITIVE:
+        base = baseline.get("benches", {}).get(name, {}).get("seconds")
+        if base is None:
+            lines.append(f"{name:18s} no baseline — skipped")
+            continue
+        _description, fn = _BENCHES[name]
+        secs = min(fn(mode)["seconds"] for _ in range(reps))
+        overhead = secs / base - 1.0
+        verdict = "ok" if overhead <= threshold else "FAIL"
+        if overhead > threshold:
+            ok = False
+        lines.append(
+            f"{name:18s} {secs:8.4f}s vs {base:8.4f}s  "
+            f"({overhead:+7.2%})  {verdict}"
+        )
+    lines.append("PASS" if ok else "FAIL: tracing hooks slowed a hot path")
+    return ok, "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
 # driver
 
 

@@ -6,6 +6,9 @@ Commands:
   and rough cost;
 - ``run <id>... | all | fast`` — regenerate the named artifacts and
   print them (``fast`` selects the sub-10-second ones);
+- ``trace`` — capture a structured event trace of a canonical workload
+  (export as JSONL or a ``chrome://tracing`` file) or regenerate the
+  golden-trace fixture with ``--write-goldens``;
 - ``encdec-measured`` — run the *real* AES-GCM throughput sweep on this
   host (OpenSSL backend via `cryptography` if present) for an honest
   hardware datapoint next to Fig. 2.
@@ -129,6 +132,13 @@ def _cmd_bench(args) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"cannot load baseline {args.baseline}: {exc}", file=sys.stderr)
             return 2
+    if args.check_tracing:
+        if baseline is None:
+            print("--check-tracing needs --baseline", file=sys.stderr)
+            return 2
+        ok, report = bench.check_tracing_overhead(baseline, mode=mode)
+        print(report)
+        return 0 if ok else 1
     doc = bench.run_core_benches(mode)
     print(bench.render(doc, baseline))
     if args.output:
@@ -169,6 +179,30 @@ def _cmd_analyze(args) -> int:
         f"\nlargest size with <=10% predicted overhead on {args.network} "
         f"with {args.library}: {label}"
     )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.experiments import goldens
+
+    if args.write_goldens is not None:
+        path = args.write_goldens or goldens.FIXTURE_PATH
+        doc = goldens.write_fixture(path)
+        for name, rec in doc["runs"].items():
+            print(f"{name:14s} {rec['events']:5d} events  {rec['digest']}")
+        print(f"wrote {path}")
+        return 0
+    if args.workload is None:
+        print("choose a workload or pass --write-goldens", file=sys.stderr)
+        return 2
+    recorder = goldens.run_golden(args.workload, backend=args.backend)
+    print(recorder.summary())
+    if args.output:
+        if args.format == "chrome":
+            recorder.write_chrome_trace(args.output)
+        else:
+            recorder.write_jsonl(args.output)
+        print(f"wrote {args.output} ({args.format})")
     return 0
 
 
@@ -230,6 +264,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="compare against a previously written JSON document",
     )
+    bench.add_argument(
+        "--check-tracing",
+        action="store_true",
+        help="assert disabled tracing costs <2%% vs --baseline on the "
+        "simulator hot paths (exit 1 on regression)",
+    )
     bench.set_defaults(func=_cmd_bench)
     nas = sub.add_parser("nas", help="run one NAS proxy at paper scale")
     nas.add_argument("benchmark", help="bt|cg|ep|ft|is|lu|mg|sp|all")
@@ -246,6 +286,36 @@ def main(argv: list[str] | None = None) -> int:
                          choices=["ethernet", "infiniband"])
     analyze.add_argument("--library", default="boringssl")
     analyze.set_defaults(func=_cmd_analyze)
+    trace = sub.add_parser(
+        "trace", help="capture a structured event trace of a canonical run"
+    )
+    trace.add_argument(
+        "workload",
+        nargs="?",
+        choices=["pingpong", "bcast", "enc_multipair"],
+        help="which golden workload to trace",
+    )
+    trace.add_argument(
+        "--backend",
+        default="auto",
+        help="AEAD byte-work backend for encrypted runs (auto|pure|chacha|openssl)",
+    )
+    trace.add_argument(
+        "--format",
+        default="jsonl",
+        choices=["jsonl", "chrome"],
+        help="export format: JSONL events or a chrome://tracing JSON file",
+    )
+    trace.add_argument("--output", metavar="PATH", help="write the trace to PATH")
+    trace.add_argument(
+        "--write-goldens",
+        nargs="?",
+        const="",
+        metavar="PATH",
+        help="regenerate the golden-trace fixture (default: "
+        "tests/goldens/golden_traces.json) instead of tracing one workload",
+    )
+    trace.set_defaults(func=_cmd_trace)
     sub.add_parser(
         "encdec-measured", help="measure real AES-GCM throughput locally"
     ).set_defaults(func=_cmd_encdec_measured)

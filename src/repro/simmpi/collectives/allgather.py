@@ -56,7 +56,8 @@ def _allgather_recursive_doubling(handle, data: bytes, tag: int) -> list[bytes]:
         packed = _pack(held)
         wire = sum(len(c) for c in held.values())
         rreq = handle.irecv(partner, tag, _internal=True)
-        handle.isend(packed, partner, tag, wire_bytes=wire, _internal=True).wait()
+        handle.isend(packed, partner, tag, wire_bytes=wire,
+                     payload_bytes=wire, _internal=True).wait()
         received = rreq.wait()
         held.update(_unpack(received))
         mask <<= 1

@@ -59,11 +59,13 @@ def gather(handle, data: bytes, root: int = 0) -> list[bytes] | None:
     if v == 0:
         return [owned[vrank_of(r, root, size)] for r in range(size)]
     packed = _pack(owned, lo, hi)
+    data_bytes = sum(len(owned[i]) for i in range(lo, hi))
     handle.send(
         packed,
         rank_of(binomial_parent(v), root, size),
         tag,
-        wire_bytes=sum(len(owned[i]) for i in range(lo, hi)),
+        wire_bytes=data_bytes,
+        payload_bytes=data_bytes,
         _internal=True,
     )
     return None
@@ -87,11 +89,13 @@ def scatter(handle, chunks: Sequence[bytes] | None, root: int = 0) -> bytes:
     for child in binomial_children(v, size):
         clo, chi = subtree_span(child, size)
         packed = _pack(owned, clo, chi)
+        data_bytes = sum(len(owned[i]) for i in range(clo, chi))
         handle.send(
             packed,
             rank_of(child, root, size),
             tag,
-            wire_bytes=sum(len(owned[i]) for i in range(clo, chi)),
+            wire_bytes=data_bytes,
+            payload_bytes=data_bytes,
             _internal=True,
         )
     return owned[v]

@@ -61,7 +61,8 @@ def reduce_scatter(handle, chunks: Sequence[bytes], op: ReduceOp) -> bytes:
         )
         wire = sum(len(data[i]) for i in range(send_lo, send_hi))
         rreq = handle.irecv(partner, tag, _internal=True)
-        handle.isend(payload, partner, tag, wire_bytes=wire, _internal=True).wait()
+        handle.isend(payload, partner, tag, wire_bytes=wire,
+                     payload_bytes=wire, _internal=True).wait()
         received = rreq.wait()
         offset = 0
         for i in range(keep_lo, keep_hi):

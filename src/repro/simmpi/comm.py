@@ -45,12 +45,14 @@ _COLL_TAG_BASE = MAX_USER_TAG
 class Communicator:
     """Job-wide state: transport plus per-rank collective sequencing."""
 
-    def __init__(self, scheduler: Scheduler, cluster: ClusterRuntime, trace=None):
+    def __init__(self, scheduler: Scheduler, cluster: ClusterRuntime, trace=None,
+                 recorder=None):
         self.scheduler = scheduler
         self.cluster = cluster
         self.size = cluster.nranks
         self.comm_id = next(_comm_ids)
-        self.transport = Transport(scheduler, cluster, trace)
+        self.recorder = recorder
+        self.transport = Transport(scheduler, cluster, trace, recorder)
         self._coll_seq = [0] * self.size
 
     def handle(self, rank: int) -> "CommHandle":
@@ -111,8 +113,12 @@ class CommHandle:
     # ------------------------------------------------------------------
 
     def isend(self, data: bytes, dest: int, tag: int = 0, *, wire_bytes: int = -1,
-              _internal: bool = False) -> Request:
-        """Non-blocking send; completes when the buffer is reusable."""
+              payload_bytes: int = -1, _internal: bool = False) -> Request:
+        """Non-blocking send; completes when the buffer is reusable.
+
+        ``payload_bytes`` overrides traffic accounting for payloads that
+        carry protocol headers (collective packing); see Envelope.
+        """
         self._check_peer(dest)
         self._check_tag(tag, _internal)
         if isinstance(data, OpaquePayload):
@@ -128,15 +134,17 @@ class CommHandle:
             comm_id=self._comm_id,
             payload=payload,
             wire_bytes=wire_bytes,
+            payload_bytes=payload_bytes,
         )
         req = Request(self._comm.scheduler, "send")
         self._comm.transport.isend(env, lambda: req.complete(None))
         return req
 
     def send(self, data: bytes, dest: int, tag: int = 0, *, wire_bytes: int = -1,
-             _internal: bool = False) -> None:
+             payload_bytes: int = -1, _internal: bool = False) -> None:
         """Blocking send (returns when the send buffer is reusable)."""
-        self.isend(data, dest, tag, wire_bytes=wire_bytes, _internal=_internal).wait()
+        self.isend(data, dest, tag, wire_bytes=wire_bytes,
+                   payload_bytes=payload_bytes, _internal=_internal).wait()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
               _internal: bool = False) -> Request:
@@ -147,6 +155,13 @@ class CommHandle:
         sched = self._comm.scheduler
         req = Request(sched, "recv")
         req._match_env = None  # set on match; read by the postprocess hook
+        rec = self._comm.recorder
+        my_global = self._global_rank(self.rank)
+        if rec is not None:
+            rec.emit("transport", "recv_posted", my_global,
+                     src=source if source == ANY_SOURCE
+                     else self._global_rank(source),
+                     tag=tag)
 
         def status_of(env: Envelope) -> Status:
             return Status(
@@ -157,6 +172,9 @@ class CommHandle:
 
         def on_match(env: Envelope) -> None:
             req._match_env = env
+            if rec is not None:
+                rec.emit("transport", "match", my_global, src=env.src,
+                         tag=env.tag, bytes=env.payload_bytes)
             trigger = env.info.get("rendezvous_trigger")
             if trigger is not None:
                 trigger()
@@ -225,41 +243,83 @@ class CommHandle:
     # collectives (§IV list + NAS requirements)
     # ------------------------------------------------------------------
 
+    def _run_collective(self, op: str, fn, **meta):
+        """Run one collective, bracketed by coll_begin/coll_end events."""
+        rec = self._comm.recorder
+        if rec is None:
+            return fn()
+        g = self._global_rank(self.rank)
+        rec.emit("collective", "coll_begin", g, op=op, **meta)
+        rec.rank_counters(g).collectives += 1
+        out = fn()
+        rec.emit("collective", "coll_end", g, op=op)
+        return out
+
     def barrier(self) -> None:
-        _coll.barrier(self)
+        self._run_collective("barrier", lambda: _coll.barrier(self))
 
     def bcast(self, data: bytes | None, root: int = 0, *,
               nbytes: int | None = None) -> bytes:
-        return _coll.bcast(self, data, root, nbytes=nbytes)
+        return self._run_collective(
+            "bcast", lambda: _coll.bcast(self, data, root, nbytes=nbytes),
+            root=root,
+            bytes=len(data) if data is not None else (nbytes or 0),
+        )
 
     def gather(self, data: bytes, root: int = 0) -> list[bytes] | None:
-        return _coll.gather(self, data, root)
+        return self._run_collective(
+            "gather", lambda: _coll.gather(self, data, root),
+            root=root, bytes=len(data),
+        )
 
     def scatter(self, chunks: Sequence[bytes] | None, root: int = 0) -> bytes:
-        return _coll.scatter(self, chunks, root)
+        return self._run_collective(
+            "scatter", lambda: _coll.scatter(self, chunks, root),
+            root=root,
+            bytes=sum(len(c) for c in chunks) if chunks is not None else 0,
+        )
 
     def allgather(self, data: bytes) -> list[bytes]:
-        return _coll.allgather(self, data)
+        return self._run_collective(
+            "allgather", lambda: _coll.allgather(self, data), bytes=len(data)
+        )
 
     def alltoall(self, chunks: Sequence[bytes]) -> list[bytes]:
-        return _coll.alltoall(self, chunks)
+        return self._run_collective(
+            "alltoall", lambda: _coll.alltoall(self, chunks),
+            bytes=sum(len(c) for c in chunks),
+        )
 
     def alltoallv(self, chunks: Sequence[bytes]) -> list[bytes]:
-        return _coll.alltoallv(self, chunks)
+        return self._run_collective(
+            "alltoallv", lambda: _coll.alltoallv(self, chunks),
+            bytes=sum(len(c) for c in chunks),
+        )
 
     def reduce(self, data: bytes, op: Callable[[bytes, bytes], bytes],
                root: int = 0) -> bytes | None:
-        return _coll.reduce(self, data, op, root)
+        return self._run_collective(
+            "reduce", lambda: _coll.reduce(self, data, op, root),
+            root=root, bytes=len(data),
+        )
 
     def allreduce(self, data: bytes, op: Callable[[bytes, bytes], bytes]) -> bytes:
-        return _coll.allreduce(self, data, op)
+        return self._run_collective(
+            "allreduce", lambda: _coll.allreduce(self, data, op),
+            bytes=len(data),
+        )
 
     def reduce_scatter(self, chunks: Sequence[bytes],
                        op: Callable[[bytes, bytes], bytes]) -> bytes:
-        return _coll.reduce_scatter(self, chunks, op)
+        return self._run_collective(
+            "reduce_scatter", lambda: _coll.reduce_scatter(self, chunks, op),
+            bytes=sum(len(c) for c in chunks),
+        )
 
     def scan(self, data: bytes, op: Callable[[bytes, bytes], bytes]) -> bytes:
-        return _coll.scan(self, data, op)
+        return self._run_collective(
+            "scan", lambda: _coll.scan(self, data, op), bytes=len(data)
+        )
 
     # ------------------------------------------------------------------
     # internals

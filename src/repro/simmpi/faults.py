@@ -59,6 +59,7 @@ class FaultInjector:
                 comm_id=env.comm_id,
                 payload=env.payload,
                 wire_bytes=env.wire_bytes,
+                payload_bytes=env.payload_bytes,
             )
             clone.info["recv_overhead"] = env.info.get("recv_overhead", 0.0)
             return [env, clone]

@@ -79,6 +79,13 @@ class Envelope:
     MPI that is ``len(payload)`` where the payload already carries the
     12-byte nonce and 16-byte tag, so no separate accounting is needed;
     it is distinct from ``payload`` only for protocol-level framing.
+
+    ``payload_bytes`` is what *traffic accounting* should attribute to
+    the message.  It defaults to ``len(payload)``; collective internals
+    that pack index/length headers into the payload (headers that, like
+    MPI datatype metadata, never cross the fabric — ``wire_bytes``
+    already excludes them) pass the true data size so point-to-point and
+    collective byte accounting agree.
     """
 
     src: int
@@ -87,6 +94,7 @@ class Envelope:
     comm_id: int
     payload: bytes
     wire_bytes: int = -1
+    payload_bytes: int = -1
     seq: int = field(default_factory=lambda: next(_seq))
     #: extra metadata for upper layers (encrypted MPI stores the nonce
     #: strategy context here when needed)
@@ -95,6 +103,8 @@ class Envelope:
     def __post_init__(self) -> None:
         if self.wire_bytes < 0:
             self.wire_bytes = len(self.payload)
+        if self.payload_bytes < 0:
+            self.payload_bytes = len(self.payload)
 
     def matches(self, source: int, tag: int) -> bool:
         """Does this envelope satisfy a recv posted for (source, tag)?"""

@@ -1,16 +1,45 @@
-"""Communication tracing: who sent what to whom, and how big.
+"""Structured event tracing and aggregate communication statistics.
 
-Attach a :class:`CommTrace` to a simulated job (``run_program(...,
-trace=...)``) to collect per-route traffic statistics — the
-communication-characterization data (bytes per rank pair, message-size
-histogram, per-kind counts) that the NAS skeleton volumes in this
-reproduction are based on.  The quickstart for it is
-``examples/comm_characterization.py``.
+Two levels of observability, selected by ``run_program(..., trace=...)``
+(or ``api.run_job(trace=...)``):
+
+- ``trace=True`` — the lightweight aggregate view: a :class:`CommTrace`
+  with per-route traffic statistics (bytes per rank pair, message-size
+  histogram) — the communication-characterization data the NAS skeleton
+  volumes are based on.  Quickstart:
+  ``examples/comm_characterization.py``.
+- ``trace="events"`` (or a :class:`TraceRecorder` instance) — the full
+  structured trace: timestamped typed events from every layer of the
+  stack (DES engine process lifecycle, transport send/deliver/match,
+  collective phases, AEAD seal/open with backend + bytes + virtual
+  duration, auth failures, replay drops) plus per-rank counters.  The
+  recorder's :attr:`TraceRecorder.comm` is a :class:`CommTrace`, so the
+  aggregate view rides along for free.
+
+Events carry *virtual* timestamps; the simulator's strict handoff
+discipline makes the event stream fully deterministic, which is what the
+golden-trace harness (``tests/simmpi/test_golden_traces.py``) pins:
+:meth:`TraceRecorder.digest` hashes the canonical serialization, and
+identical programs must produce identical digests run after run and
+across AEAD backends (the ``backend`` field is excluded from the
+canonical form for exactly that reason).
+
+Exporters: :meth:`TraceRecorder.to_jsonl` (one JSON object per event)
+and :meth:`TraceRecorder.to_chrome_trace` (the ``chrome://tracing`` /
+Perfetto JSON format; collective phases become B/E spans, AEAD work
+becomes complete X slices).
+
+Tracing is zero-cost when disabled: every emit site is guarded by an
+``if recorder is not None`` check and no event objects are allocated on
+the hot path unless a recorder is attached.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
+from collections import Counter
 from dataclasses import dataclass, field
 
 
@@ -90,3 +119,262 @@ class CommTrace:
                 f"{stats.payload_bytes / 1e6:.3f} MB"
             )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# structured event tracing
+# ---------------------------------------------------------------------------
+
+#: The layers that emit events, in stack order.
+TRACE_LAYERS = ("engine", "transport", "collective", "aead", "encmpi")
+
+#: Event fields excluded from the canonical (digest) serialization.
+#: ``backend`` names which AEAD implementation computed the bytes — a
+#: host property, not a simulation outcome — so cross-backend runs of
+#: one program must hash identically.
+DIGEST_EXCLUDED_KEYS = frozenset({"backend"})
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One timestamped typed event.
+
+    ``t`` is virtual seconds; ``rank`` is the acting global rank (-1 for
+    job-level events); ``data`` holds kind-specific fields (src, dst,
+    tag, bytes, dur, ...).
+    """
+
+    t: float
+    layer: str
+    kind: str
+    rank: int
+    data: dict
+
+    def as_dict(self) -> dict:
+        out = {"t": self.t, "layer": self.layer, "kind": self.kind,
+               "rank": self.rank}
+        out.update(self.data)
+        return out
+
+
+@dataclass
+class RankCounters:
+    """Aggregate per-rank activity counters (one snapshot per rank)."""
+
+    messages_sent: int = 0
+    messages_received: int = 0
+    payload_bytes_sent: int = 0
+    wire_bytes_sent: int = 0
+    collectives: int = 0
+    aead_seals: int = 0
+    aead_opens: int = 0
+    bytes_sealed: int = 0
+    bytes_opened: int = 0
+    nonces_consumed: int = 0
+    auth_failures: int = 0
+    replay_drops: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class TraceRecorder:
+    """Records typed events and per-rank counters for one simulated job.
+
+    Create one and pass it to ``run_program(trace=recorder)`` /
+    ``api.run_job(trace=recorder)`` — or pass ``trace="events"`` and
+    take the recorder from the result.  A recorder binds to exactly one
+    job (its clock); reusing one across jobs is an error.
+
+    The embedded :attr:`comm` is the classic :class:`CommTrace`
+    aggregate view, fed by the same transport-layer recording.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        #: aggregate per-route statistics (the CommTrace view)
+        self.comm = CommTrace()
+        self._counters: dict[int, RankCounters] = {}
+        self._sched = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def attach(self, scheduler) -> None:
+        """Bind the recorder to a job's scheduler (its virtual clock)."""
+        if self._sched is not None and self._sched is not scheduler:
+            raise RuntimeError(
+                "TraceRecorder is already attached to another job; "
+                "use a fresh recorder per run"
+            )
+        self._sched = scheduler
+
+    @property
+    def now(self) -> float:
+        return self._sched.now if self._sched is not None else 0.0
+
+    # -- recording --------------------------------------------------------
+
+    def emit(self, layer: str, kind: str, rank: int, **data) -> None:
+        """Append one event stamped at the current virtual time."""
+        self.events.append(TraceEvent(self.now, layer, kind, rank, data))
+
+    def rank_counters(self, rank: int) -> RankCounters:
+        c = self._counters.get(rank)
+        if c is None:
+            c = self._counters[rank] = RankCounters()
+        return c
+
+    # -- inspection -------------------------------------------------------
+
+    def layers(self) -> set[str]:
+        """The set of layers that emitted at least one event."""
+        return {e.layer for e in self.events}
+
+    def events_in(self, layer: str | None = None, kind: str | None = None
+                  ) -> list[TraceEvent]:
+        return [
+            e for e in self.events
+            if (layer is None or e.layer == layer)
+            and (kind is None or e.kind == kind)
+        ]
+
+    def kind_counts(self) -> Counter:
+        return Counter(e.kind for e in self.events)
+
+    def counters_snapshot(self) -> dict[int, dict]:
+        """Per-rank counter snapshots, keyed by global rank."""
+        return {r: c.snapshot() for r, c in sorted(self._counters.items())}
+
+    # -- canonical form and digest ----------------------------------------
+
+    def canonical_lines(self) -> list[str]:
+        """Deterministic one-line-per-event serialization.
+
+        Keys are sorted, floats use their shortest round-trip repr (the
+        ``json`` default), and :data:`DIGEST_EXCLUDED_KEYS` are dropped —
+        so two runs of the same program yield byte-identical lines even
+        when the AEAD byte-work is done by different backends.
+        """
+        lines = []
+        for e in self.events:
+            data = {k: v for k, v in e.data.items()
+                    if k not in DIGEST_EXCLUDED_KEYS}
+            lines.append(json.dumps(
+                [e.t, e.layer, e.kind, e.rank, data],
+                sort_keys=True, separators=(",", ":"),
+            ))
+        return lines
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical serialization (the golden hash)."""
+        h = hashlib.sha256()
+        for line in self.canonical_lines():
+            h.update(line.encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    # -- exporters --------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON object per event (full fidelity, backend included)."""
+        return "\n".join(
+            json.dumps(e.as_dict(), sort_keys=True) for e in self.events
+        )
+
+    def write_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+            fh.write("\n")
+
+    def to_chrome_trace(self) -> dict:
+        """The ``chrome://tracing`` / Perfetto JSON document.
+
+        Each rank becomes a process; each layer a thread within it.
+        Collective phases map to B/E spans, events carrying a ``dur``
+        field (AEAD work) to complete X slices, everything else to
+        instants.  Timestamps are virtual microseconds.
+        """
+        tid_of = {layer: i for i, layer in enumerate(TRACE_LAYERS)}
+        out: list[dict] = []
+        ranks = sorted({e.rank for e in self.events})
+        for rank in ranks:
+            name = f"rank {rank}" if rank >= 0 else "job"
+            out.append({"ph": "M", "name": "process_name", "pid": rank,
+                        "tid": 0, "args": {"name": name}})
+            for layer, tid in tid_of.items():
+                out.append({"ph": "M", "name": "thread_name", "pid": rank,
+                            "tid": tid, "args": {"name": layer}})
+        for e in self.events:
+            base = {
+                "name": e.kind,
+                "cat": e.layer,
+                "pid": e.rank,
+                "tid": tid_of.get(e.layer, len(tid_of)),
+                "ts": e.t * 1e6,
+                "args": dict(e.data),
+            }
+            if e.kind == "coll_begin":
+                base["ph"] = "B"
+                base["name"] = e.data.get("op", "collective")
+            elif e.kind == "coll_end":
+                base["ph"] = "E"
+                base["name"] = e.data.get("op", "collective")
+            elif "dur" in e.data:
+                base["ph"] = "X"
+                base["dur"] = e.data["dur"] * 1e6
+            else:
+                base["ph"] = "i"
+                base["s"] = "t"
+            out.append(base)
+        return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+            fh.write("\n")
+
+    # -- reporting --------------------------------------------------------
+
+    def summary(self) -> str:
+        lines = [f"events: {len(self.events)}  digest: {self.digest()[:16]}…"]
+        by_layer = Counter(e.layer for e in self.events)
+        for layer in TRACE_LAYERS:
+            if layer not in by_layer:
+                continue
+            kinds = Counter(
+                e.kind for e in self.events if e.layer == layer
+            )
+            detail = ", ".join(f"{k}×{n}" for k, n in sorted(kinds.items()))
+            lines.append(f"  {layer:10s} {by_layer[layer]:6d}  ({detail})")
+        if self._counters:
+            lines.append("per-rank counters:")
+            for rank, c in sorted(self._counters.items()):
+                lines.append(
+                    f"  rank {rank}: sent {c.messages_sent} "
+                    f"({c.payload_bytes_sent}B payload/{c.wire_bytes_sent}B wire), "
+                    f"recv {c.messages_received}, aead {c.aead_seals}s/"
+                    f"{c.aead_opens}o ({c.bytes_sealed}B/{c.bytes_opened}B), "
+                    f"nonces {c.nonces_consumed}"
+                )
+        return "\n".join(lines)
+
+
+def resolve_trace(trace):
+    """Normalize a ``trace=`` argument into ``(recorder, comm_trace)``.
+
+    ``False``/``None`` → (None, None); ``True`` → aggregate-only
+    (None, CommTrace); ``"events"`` → fresh recorder; a
+    :class:`TraceRecorder` → that recorder.  With a recorder, the
+    CommTrace returned is the recorder's embedded :attr:`~TraceRecorder.comm`.
+    """
+    if trace is None or trace is False:
+        return None, None
+    if trace is True:
+        return None, CommTrace()
+    if trace == "events":
+        trace = TraceRecorder()
+    if isinstance(trace, TraceRecorder):
+        return trace, trace.comm
+    raise TypeError(
+        f"trace must be a bool, 'events', or a TraceRecorder, got {trace!r}"
+    )

@@ -44,12 +44,17 @@ FLOW_CUTOFF = 2048
 
 
 class Transport:
-    def __init__(self, scheduler: Scheduler, cluster: ClusterRuntime, trace=None):
+    def __init__(self, scheduler: Scheduler, cluster: ClusterRuntime, trace=None,
+                 recorder=None):
         self.sched = scheduler
         self.cluster = cluster
         self.net = cluster.network
-        #: optional CommTrace recording every message
+        #: optional CommTrace recording every message — the single
+        #: recording point for *all* traffic (point-to-point and
+        #: collective-internal alike); upper layers never record
         self.trace = trace
+        #: optional TraceRecorder for structured events
+        self.recorder = recorder
         #: optional FaultInjector applied at delivery time
         self.fault_injector = None
         self.engines: list[MatchingEngine] = [
@@ -72,7 +77,23 @@ class Transport:
         """
         size = env.wire_bytes
         if self.trace is not None:
-            self.trace.record(env.src, env.dst, len(env.payload), size)
+            self.trace.record(env.src, env.dst, env.payload_bytes, size)
+        rec = self.recorder
+        if rec is not None:
+            if self.cluster.same_node(env.src, env.dst):
+                path = "shm"
+            elif self.net.is_eager(size):
+                path = "eager"
+            else:
+                path = "rendezvous"
+            rec.emit(
+                "transport", "send_posted", env.src, dst=env.dst,
+                tag=env.tag, bytes=env.payload_bytes, wire=size, path=path,
+            )
+            c = rec.rank_counters(env.src)
+            c.messages_sent += 1
+            c.payload_bytes_sent += env.payload_bytes
+            c.wire_bytes_sent += size
         # Chain this envelope behind the route's previous one so FIFO
         # order is decided by *send* order, not by which transfer
         # finishes first.
@@ -93,6 +114,7 @@ class Transport:
         proc = self.sched.current()
         proc.sleep(self.net.shm_msg_overhead)
         env.info["recv_overhead"] = self.net.shm_msg_overhead
+        self._emit_wire_start(env, size)
         self._deliver_after(env, self.net.shm_delivery_delay(size))
         on_sent()
 
@@ -110,6 +132,7 @@ class Transport:
             node.active_senders -= 1
         env.info["recv_overhead"] = self.net.recv_overhead(size)
         tail = self.net.latency + self.net.proto_delay(size)
+        self._emit_wire_start(env, size)
         if size >= FLOW_CUTOFF:
             flow_done = self._start_flow(env, size)
             flow_done.callbacks.append(
@@ -138,6 +161,14 @@ class Transport:
         env.info["recv_overhead"] = self.net.msg_overhead  # no eager copy-out
         data_ready: SimEvent = self.sched.event()
         env.info["data_ready"] = data_ready
+        rec = self.recorder
+        if rec is not None:
+            def emit_payload_arrival(_ev: SimEvent) -> None:
+                rec.emit("transport", "wire_end", env.dst, src=env.src,
+                         tag=env.tag, wire=env.wire_bytes)
+                rec.rank_counters(env.dst).messages_received += 1
+
+            data_ready.callbacks.append(emit_payload_arrival)
 
         def trigger() -> None:
             """Called when a recv matches the RTS (any context).
@@ -149,6 +180,7 @@ class Transport:
             self.sched.engine.schedule(self.net.latency, start_transfer)
 
         def start_transfer() -> None:
+            self._emit_wire_start(env, size)
             flow_done = self._start_flow(env, size)
 
             def on_flow_done(_ev: SimEvent) -> None:
@@ -197,9 +229,32 @@ class Transport:
 
     def _deliver_now(self, env: Envelope) -> None:
         env.info.pop("prev_delivery", None)  # release the chain reference
+        rec = self.recorder
         if self.fault_injector is not None:
             for out in self.fault_injector.apply(env):
+                if rec is not None:
+                    self._emit_deliver(rec, out)
                 self.engines[out.dst].deliver(out)
         else:
+            if rec is not None:
+                self._emit_deliver(rec, env)
             self.engines[env.dst].deliver(env)
         env.info["delivery_done"].succeed(None)
+
+    # -- structured-event helpers ------------------------------------------
+
+    def _emit_wire_start(self, env: Envelope, size: int) -> None:
+        """The payload starts crossing the fabric (or the shm copy)."""
+        rec = self.recorder
+        if rec is not None:
+            rec.emit("transport", "wire_start", env.src, dst=env.dst,
+                     tag=env.tag, wire=size)
+
+    def _emit_deliver(self, rec, env: Envelope) -> None:
+        # For rendezvous only the RTS header enters the matching engine
+        # here; the payload's wire_end fires when the data arrives.
+        kind = "rts_delivered" if "rendezvous_trigger" in env.info else "wire_end"
+        rec.emit("transport", kind, env.dst, src=env.src,
+                 tag=env.tag, wire=env.wire_bytes)
+        if kind == "wire_end":
+            rec.rank_counters(env.dst).messages_received += 1

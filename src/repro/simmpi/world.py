@@ -22,13 +22,16 @@ class RankContext:
     """Everything one rank's program sees."""
 
     def __init__(self, comm: CommHandle, scheduler: Scheduler,
-                 cluster: ClusterRuntime):
+                 cluster: ClusterRuntime, recorder=None):
         self.comm = comm
         self._scheduler = scheduler
         self._cluster = cluster
         #: encrypted communicator, populated by repro.api.run_job when a
         #: SecurityConfig is supplied (None on plain-MPI jobs)
         self.enc = None
+        #: TraceRecorder for structured tracing (None unless the job ran
+        #: with trace="events" or an explicit recorder)
+        self.recorder = recorder
 
     @property
     def rank(self) -> int:
@@ -92,27 +95,35 @@ def run_program(
     network: str | NetworkModel = "ethernet",
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
-    trace: bool = False,
+    trace=False,
     fault_injector=None,
 ) -> SimResult:
     """Run *program* on *nranks* simulated ranks; returns a SimResult.
 
     The program receives a :class:`RankContext`.  Rank processes hold
     one core each for their lifetime (the paper never oversubscribes).
-    ``trace=True`` records every message into ``SimResult.trace`` (a
-    :class:`repro.simmpi.tracing.CommTrace`).  ``fault_injector`` (a
+
+    ``trace`` selects the observability level: ``True`` records every
+    message into ``SimResult.trace`` (a
+    :class:`repro.simmpi.tracing.CommTrace` of aggregate statistics);
+    ``"events"`` — or a :class:`repro.simmpi.tracing.TraceRecorder`
+    instance — additionally records the full structured event stream,
+    and ``SimResult.trace`` is then the recorder (whose ``.comm`` is the
+    aggregate view).  ``fault_injector`` (a
     :class:`repro.simmpi.faults.FaultInjector`) lets an adversary
     tamper with deliveries.
     """
+    from repro.simmpi.tracing import resolve_trace
+
     net = get_network(network) if isinstance(network, str) else network
     scheduler = Scheduler()
     runtime = ClusterRuntime(scheduler, cluster, net, nranks, placement)
-    comm_trace = None
-    if trace:
-        from repro.simmpi.tracing import CommTrace
-
-        comm_trace = CommTrace()
-    communicator = Communicator(scheduler, runtime, comm_trace)
+    recorder, comm_trace = resolve_trace(trace)
+    if recorder is not None:
+        recorder.attach(scheduler)
+        recorder.emit("engine", "job_start", -1, nranks=nranks,
+                      network=net.name, placement=placement)
+    communicator = Communicator(scheduler, runtime, comm_trace, recorder)
     communicator.transport.fault_injector = fault_injector
 
     results: list[Any] = [None] * nranks
@@ -122,16 +133,25 @@ def run_program(
         node = runtime.node_of(rank)
         node.cores.acquire()
         start = scheduler.now
-        ctx = RankContext(communicator.handle(rank), scheduler, runtime)
+        if recorder is not None:
+            recorder.emit("engine", "proc_start", rank,
+                          node=runtime.node_of(rank).index)
+        ctx = RankContext(communicator.handle(rank), scheduler, runtime,
+                          recorder)
         try:
             results[rank] = program(ctx)
         finally:
             spans[rank] = (start, scheduler.now)
+            if recorder is not None:
+                recorder.emit("engine", "proc_end", rank)
             node.cores.release()
 
     for r in range(nranks):
         scheduler.spawn(rank_main, r, name=f"rank{r}")
     duration = scheduler.run()
+    if recorder is not None:
+        recorder.emit("engine", "job_end", -1, duration=duration)
     return SimResult(
-        results=results, duration=duration, spans=spans, trace=comm_trace
+        results=results, duration=duration, spans=spans,
+        trace=recorder if recorder is not None else comm_trace,
     )

@@ -174,6 +174,83 @@ def test_replay_guard_end_to_end_with_counter_nonces():
     assert results[1] == "replay-blocked"
 
 
+def test_replay_guard_exact_window_boundary():
+    """offset == window-1 is the last acceptable lag; offset == window
+    is the first rejected one."""
+    g = ReplayGuard(window=8)
+    g.check(20)
+    g.check(13)  # offset 7 == window-1: accepted
+    with pytest.raises(ReplayError, match="older than the window"):
+        g.check(12)  # offset 8 == window: rejected
+    with pytest.raises(ReplayError, match="replayed"):
+        g.check(13)
+
+
+def test_replay_guard_window_slides_over_seen_bits():
+    """Advancing highest must shift old accept-bits out, not wrap them
+    onto new counters."""
+    g = ReplayGuard(window=4)
+    g.check(0)
+    g.check(4)  # shifts counter 0's bit exactly off the edge
+    with pytest.raises(ReplayError, match="older than the window"):
+        g.check(0)  # now outside the window, not "free" again
+    g.check(1)  # offset 3: still inside, never seen — accepted
+
+
+def test_replay_window_config_requires_counter_nonces():
+    with pytest.raises(ValueError, match="counter"):
+        SecurityConfig(replay_window=16)  # default nonce_strategy=random
+    with pytest.raises(ValueError, match="replay_window"):
+        SecurityConfig(nonce_strategy="counter", replay_window=-1)
+    cfg = SecurityConfig(nonce_strategy="counter", replay_window=16)
+    assert cfg.with_key(bytes(32)).replay_window == 16
+
+
+def test_encrypted_comm_accepts_reordered_delivery_within_window():
+    """Tag-based retrieval order != send order: counters arrive 1 then
+    0, which a window >= 2 must accept and window == 1 must reject."""
+
+    def make_prog(window):
+        def prog(ctx):
+            cfg = SecurityConfig(nonce_strategy="counter", replay_window=window)
+            enc = EncryptedComm(ctx, cfg)
+            if ctx.rank == 0:
+                enc.send(b"first", 1, tag=0)   # counter 0
+                enc.send(b"second", 1, tag=1)  # counter 1
+                return None
+            out = [enc.recv(0, tag=1)[0]]  # counter 1 arrives first
+            try:
+                out.append(enc.recv(0, tag=0)[0])  # counter 0, lag 1
+            except ReplayError:
+                out.append("dropped")
+            return out
+
+        return prog
+
+    wide = run_program(2, make_prog(8), cluster=TWO_NODE_CLUSTER).results
+    assert wide[1] == [b"second", b"first"]
+    narrow = run_program(2, make_prog(1), cluster=TWO_NODE_CLUSTER).results
+    assert narrow[1] == [b"second", "dropped"]
+
+
+def test_encrypted_comm_replay_guards_are_per_source():
+    """Two senders reuse the same counter values; per-source windows
+    must not cross-reject."""
+
+    def prog(ctx):
+        cfg = SecurityConfig(nonce_strategy="counter", replay_window=8)
+        enc = EncryptedComm(ctx, cfg)
+        if ctx.rank in (0, 1):
+            enc.send(bytes([ctx.rank]) * 8, 2, tag=ctx.rank)
+            return None
+        a = enc.recv(0, tag=0)[0]  # counter 0 from source 0
+        b = enc.recv(1, tag=1)[0]  # counter 0 from source 1
+        return (a, b)
+
+    res = run_program(3, prog, cluster=TWO_NODE_CLUSTER).results
+    assert res[2] == (b"\x00" * 8, b"\x01" * 8)
+
+
 # ---- pipelined encryption ----------------------------------------------------------
 
 

@@ -1,0 +1,79 @@
+"""Golden-trace determinism harness.
+
+The committed fixture (``tests/goldens/golden_traces.json``) pins the
+SHA-256 of each canonical run's event stream.  A digest mismatch means
+the simulation's observable behavior changed: either a bug (accidental
+nondeterminism, reordered events, leaked host state) or an intentional
+change — in which case regenerate with ``make trace-goldens`` and let
+the reviewer see the digest move.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import goldens
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), os.pardir, "goldens", "golden_traces.json"
+)
+
+
+@pytest.fixture(scope="module")
+def fixture_doc():
+    return goldens.load_fixture(FIXTURE)
+
+
+def test_fixture_covers_every_golden(fixture_doc):
+    assert set(fixture_doc["runs"]) == set(goldens.GOLDEN_RUNS)
+
+
+@pytest.mark.parametrize("name", sorted(goldens.GOLDEN_RUNS))
+def test_trace_is_byte_identical_across_runs_and_matches_fixture(
+    name, fixture_doc
+):
+    first = goldens.run_golden(name)
+    second = goldens.run_golden(name)
+    # Byte-identical canonical serialization across back-to-back runs in
+    # one process: no global state (nonce counters, sequence numbers,
+    # caches) may leak between jobs.
+    assert first.canonical_lines() == second.canonical_lines()
+    committed = fixture_doc["runs"][name]
+    assert len(first.events) == committed["events"]
+    assert first.digest() == committed["digest"], (
+        f"golden {name!r} drifted from the committed fixture; if the "
+        "change is intentional run `make trace-goldens` and commit the "
+        "new digest"
+    )
+
+
+@pytest.mark.parametrize("backend", ["pure", "chacha", "openssl"])
+def test_encrypted_golden_digest_is_backend_independent(backend, fixture_doc):
+    """Which AEAD implementation does the byte-work is a host property;
+    the virtual-time trace must not see it."""
+    from repro.crypto.aead import available_backends
+
+    if backend not in available_backends():
+        pytest.skip(f"backend {backend} not available")
+    rec = goldens.run_golden("enc_multipair", backend=backend)
+    assert rec.digest() == fixture_doc["runs"]["enc_multipair"]["digest"]
+
+
+def test_encrypted_golden_touches_every_traced_layer():
+    rec = goldens.run_golden("enc_multipair")
+    assert {"engine", "transport", "collective", "aead"} <= rec.layers()
+
+
+def test_golden_counters_are_symmetric():
+    """The multipair exchange is symmetric, so per-rank counters are too."""
+    rec = goldens.run_golden("enc_multipair")
+    snaps = list(rec.counters_snapshot().values())
+    assert len(snaps) == 4
+    assert all(s == snaps[0] for s in snaps[1:])
+    assert snaps[0]["aead_seals"] > 0
+    assert snaps[0]["nonces_consumed"] == snaps[0]["aead_seals"]
+
+
+def test_unknown_golden_name_raises():
+    with pytest.raises(KeyError, match="unknown golden"):
+        goldens.run_golden("nope")

@@ -74,6 +74,69 @@ def test_bcast_delivers_exact_payload(nranks, payload, root):
     assert all(r == payload for r in results)
 
 
+@settings(max_examples=12, deadline=None)
+@given(
+    nranks=st.sampled_from([2, 3, 4, 6, 8]),
+    chunk=st.binary(max_size=400),
+)
+def test_allgather_matches_naive_reference(nranks, chunk):
+    """allgather == every rank ends up with [data of rank 0..p-1],
+    across both the recursive-doubling and ring algorithms."""
+
+    def prog(ctx):
+        return ctx.comm.allgather(bytes([ctx.rank]) + chunk)
+
+    results = run_program(nranks, prog, cluster=ClusterSpec(2, 4)).results
+    expected = [bytes([s]) + chunk for s in range(nranks)]
+    assert all(r == expected for r in results)
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nranks=st.sampled_from([2, 3, 5, 8]),
+    root=st.integers(0, 7),
+    size=st.integers(1, 600),
+)
+def test_reduce_matches_naive_reference(nranks, root, size):
+    """Tree reduce == folding the op over per-rank payloads in rank
+    order, for any root."""
+    root = root % nranks
+
+    def prog(ctx):
+        return ctx.comm.reduce(bytes([ctx.rank + 1]) * size, _xor, root=root)
+
+    results = run_program(nranks, prog, cluster=ClusterSpec(2, 4)).results
+    expected = bytes([0]) * size
+    for r in range(nranks):
+        expected = _xor(expected, bytes([r + 1]) * size)
+    assert results[root] == expected
+    assert all(results[r] is None for r in range(nranks) if r != root)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    nranks=st.sampled_from([2, 3, 4, 7]),
+    root=st.integers(0, 6),
+    payloads=st.lists(st.binary(max_size=200), min_size=1, max_size=3),
+)
+def test_gather_matches_naive_reference(nranks, root, payloads):
+    """gather at any root == the identity list of per-rank payloads
+    (unequal sizes included — the packing headers must not leak)."""
+    root = root % nranks
+
+    def prog(ctx):
+        return ctx.comm.gather(payloads[ctx.rank % len(payloads)], root=root)
+
+    results = run_program(nranks, prog, cluster=ClusterSpec(2, 4)).results
+    expected = [payloads[r % len(payloads)] for r in range(nranks)]
+    assert results[root] == expected
+    assert all(results[r] is None for r in range(nranks) if r != root)
+
+
 @settings(max_examples=8, deadline=None)
 @given(seed_sizes=st.lists(st.integers(0, 50_000), min_size=2, max_size=6))
 def test_makespan_is_deterministic(seed_sizes):
