@@ -2,9 +2,14 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast test-all bench bench-baseline bench-pytest \
+.PHONY: install check test test-fast test-all bench bench-baseline bench-pytest \
 	trace-goldens check-tracing-overhead \
+	campaign-fast check-campaign-cache \
 	experiments-fast experiments-all examples clean
+
+# The default verification flow: unit tests, then a parallel fast-tier
+# campaign, then the warm-cache invariant (second run executes zero runners).
+check: test campaign-fast check-campaign-cache
 
 install:
 	$(PYTHON) setup.py develop
@@ -40,6 +45,15 @@ trace-goldens:
 # against the committed full-mode baseline (minutes; wall-clock sensitive).
 check-tracing-overhead:
 	$(PYTHON) -m repro.experiments bench --check-tracing --baseline BENCH_core.json
+
+# Fast-tier campaign across 4 workers into results/ (cache + manifest).
+campaign-fast:
+	$(PYTHON) -m repro.experiments campaign fast -j 4
+
+# Warm-cache invariant: an immediately repeated campaign must serve every
+# cell from results/cache and execute zero experiment runners.
+check-campaign-cache: campaign-fast
+	$(PYTHON) -m repro.experiments campaign fast -j 4 --expect-all-cached
 
 experiments-fast:
 	$(PYTHON) -m repro.experiments run fast

@@ -34,8 +34,9 @@ def __getattr__(name):
     Lazy so that ``import repro`` stays instant (the simulator and
     crypto stacks only load when touched).
     """
-    if name in ("run_job", "sweep", "get_experiment", "list_experiments",
-                "JobResult", "SweepPoint"):
+    if name in ("run_job", "sweep", "run_campaign", "get_experiment",
+                "list_experiments", "JobResult", "SweepPoint", "TraceMode",
+                "parse_trace_mode"):
         from repro import api
 
         return getattr(api, name)
@@ -63,10 +64,13 @@ __all__ = [
     # the stable facade (repro.api)
     "run_job",
     "sweep",
+    "run_campaign",
     "get_experiment",
     "list_experiments",
     "JobResult",
     "SweepPoint",
+    "TraceMode",
+    "parse_trace_mode",
     "get_aead",
     # pre-facade conveniences (kept stable)
     "run_program",

@@ -30,7 +30,7 @@ Design rules of the facade:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, Union
 
 from repro.encmpi.config import SecurityConfig
 from repro.experiments.registry import (
@@ -40,20 +40,38 @@ from repro.experiments.registry import (
 )
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
 from repro.models.network import NetworkModel
+from repro.simmpi.faults import FaultInjector
+from repro.simmpi.tracing import (
+    CommTrace,
+    TraceMode,
+    TraceRecorder,
+    parse_trace_mode,
+)
 from repro.simmpi.world import RankContext, run_program
+
+if TYPE_CHECKING:
+    from repro.experiments.campaign import CampaignResult
 
 __all__ = [
     "ClusterSpec",
     "Experiment",
+    "FaultInjector",
     "JobResult",
     "PAPER_CLUSTER",
     "SecurityConfig",
     "SweepPoint",
+    "TraceMode",
     "get_experiment",
     "list_experiments",
+    "parse_trace_mode",
+    "run_campaign",
     "run_job",
     "sweep",
 ]
+
+#: a fault injector argument: one instance (single jobs only) or a
+#: zero-argument factory producing a fresh injector per sweep cell
+FaultSpec = Union[FaultInjector, Callable[[], FaultInjector], None]
 
 
 @dataclass(frozen=True)
@@ -71,7 +89,7 @@ class JobResult:
     #: :class:`repro.simmpi.tracing.TraceRecorder` (full structured
     #: event stream, ``.comm`` holds the CommTrace view) when
     #: run_job(trace="events") or a recorder instance; else None
-    trace: Any = None
+    trace: CommTrace | TraceRecorder | None = None
     #: the security configuration the job ran under (None = plain MPI)
     security: SecurityConfig | None = None
     #: fabric name the job ran on
@@ -104,8 +122,8 @@ def run_job(
     network: str | NetworkModel = "ethernet",
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
-    trace: Any = False,
-    fault_injector: Any = None,
+    trace: TraceMode = False,
+    fault_injector: FaultInjector | None = None,
 ) -> JobResult:
     """Run *workload* on *nranks* simulated ranks; the facade's mpiexec.
 
@@ -115,13 +133,16 @@ def run_job(
     or encrypted (``ctx.enc``) MPI.  All arguments except the workload
     are keyword-only.
 
-    *trace* selects the observability level.  ``False`` (default) costs
-    nothing; ``True`` aggregates per-route statistics into a CommTrace;
-    ``"events"`` — or a :class:`repro.simmpi.tracing.TraceRecorder` you
-    construct yourself — records the full structured event stream
-    (engine, transport, collective, AEAD layers) and per-rank counters,
-    exportable as JSONL or a Chrome ``about://tracing`` file.
+    *trace* selects the observability level (:data:`TraceMode`).
+    ``False`` (default) costs nothing; ``True`` aggregates per-route
+    statistics into a CommTrace; ``"events"`` — or a
+    :class:`repro.simmpi.tracing.TraceRecorder` you construct yourself
+    — records the full structured event stream (engine, transport,
+    collective, AEAD layers) and per-rank counters, exportable as JSONL
+    or a Chrome ``about://tracing`` file.  Unknown strings raise
+    :class:`ValueError` up front (see :func:`parse_trace_mode`).
     """
+    trace = parse_trace_mode(trace)
     if security is None:
         program = workload
     else:
@@ -158,7 +179,9 @@ def sweep(
     securities: Iterable[SecurityConfig | None] = (None,),
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
-    trace: Any = False,
+    trace: TraceMode = False,
+    fault_injector: FaultSpec = None,
+    parallel: int = 1,
 ) -> list[SweepPoint]:
     """Run *workload* across the (network × security) grid.
 
@@ -167,12 +190,53 @@ def sweep(
     *trace* is forwarded to every cell (see :func:`run_job`); note that
     passing one TraceRecorder instance across cells raises — each job
     needs its own recorder, so use ``trace="events"`` for sweeps.
+
+    *fault_injector* follows the same per-cell rule: a single
+    :class:`FaultInjector` instance is only accepted for a one-cell
+    grid (its policy state and ledger are per-job); for larger grids
+    pass a zero-argument factory — e.g. ``lambda:
+    FaultInjector(corrupt_every_nth(2))`` — invoked once per cell.
+
+    *parallel* > 1 routes the grid cells through the campaign
+    executor's fork pool (:func:`repro.experiments.campaign.run_tasks`):
+    cells run on that many worker processes and the returned list is
+    still in grid order, byte-identical to a serial sweep.  On
+    platforms without ``fork`` the sweep silently degrades to serial.
     """
+    trace = parse_trace_mode(trace)
     securities = tuple(securities)
-    points: list[SweepPoint] = []
-    for net in networks:
-        for sec in securities:
-            result = run_job(
+    networks = tuple(networks)
+    ncells = len(networks) * len(securities)
+    if isinstance(trace, TraceRecorder) and ncells > 1:
+        raise RuntimeError(
+            "one TraceRecorder cannot be shared across sweep cells; "
+            "use a fresh recorder per run (trace='events' gives each "
+            "cell its own)"
+        )
+    if isinstance(fault_injector, FaultInjector) and ncells > 1:
+        raise ValueError(
+            "one FaultInjector instance cannot be shared across sweep "
+            "cells (its policy state and ledger are per-job); pass a "
+            "zero-argument factory, e.g. fault_injector=lambda: "
+            "FaultInjector(policy)"
+        )
+    if (
+        fault_injector is not None
+        and not isinstance(fault_injector, FaultInjector)
+        and not callable(fault_injector)
+    ):
+        raise TypeError(
+            "fault_injector must be a FaultInjector, a zero-argument "
+            f"factory, or None, got {fault_injector!r}"
+        )
+
+    def make_task(net, sec):
+        def task() -> JobResult:
+            if fault_injector is None or isinstance(fault_injector, FaultInjector):
+                injector = fault_injector
+            else:
+                injector = fault_injector()
+            return run_job(
                 workload,
                 nranks=nranks,
                 security=sec,
@@ -180,8 +244,61 @@ def sweep(
                 cluster=cluster,
                 placement=placement,
                 trace=trace,
+                fault_injector=injector,
             )
-            points.append(
-                SweepPoint(network=_network_name(net), security=sec, result=result)
-            )
-    return points
+
+        return task
+
+    cells = [(net, sec) for net in networks for sec in securities]
+    tasks = [make_task(net, sec) for net, sec in cells]
+    if parallel == 1:
+        results = [task() for task in tasks]
+    else:
+        from repro.experiments.campaign import run_tasks
+
+        results = run_tasks(tasks, parallel)
+    return [
+        SweepPoint(network=_network_name(net), security=sec, result=result)
+        for (net, sec), result in zip(cells, results)
+    ]
+
+
+def run_campaign(
+    selection: Sequence[str] | Sequence[Experiment] = ("all",),
+    *,
+    jobs: int = 1,
+    cache: bool = True,
+    resume: bool = False,
+    results_dir: str | None = "results",
+    cache_dir: str | None = None,
+    write_artifacts: bool = True,
+    write_manifest: bool = True,
+) -> "CampaignResult":
+    """Run a campaign of registry experiments; the facade's batch lane.
+
+    *selection* uses the one selection grammar
+    (:func:`repro.experiments.registry.select`): tokens like ``"all"``,
+    ``"fast"``, ``"not-slow"`` or explicit ids.  Cells run across
+    *jobs* worker processes, merge deterministically in selection
+    order, and — with *cache* on — are served from the on-disk
+    content-addressed result cache under ``<results_dir>/cache`` keyed
+    by (experiment id, config digest, code fingerprint of
+    ``src/repro``), so a warm re-run executes no runners at all.  A
+    resumable manifest lands at ``<results_dir>/campaign.json``.
+
+    Returns a frozen
+    :class:`repro.experiments.campaign.CampaignResult`; failures never
+    raise mid-campaign, they surface in ``result.failed``.
+    """
+    from repro.experiments.campaign import run_campaign as _run
+
+    return _run(
+        selection,
+        jobs=jobs,
+        cache=cache,
+        resume=resume,
+        results_dir=results_dir,
+        cache_dir=cache_dir,
+        write_artifacts=write_artifacts,
+        write_manifest=write_manifest,
+    )

@@ -171,6 +171,21 @@ def _bench_experiment_fig6(mode: str) -> dict:
     return {"seconds": _timed(fig6)}
 
 
+@_bench("campaign_warm_cache",
+        "warm-cache campaign over fig2+table1 (zero runners executed)")
+def _bench_campaign_warm_cache(_mode: str) -> dict:
+    import tempfile
+
+    from repro.experiments.campaign import run_campaign
+
+    selection = ["fig2", "table1"]
+    with tempfile.TemporaryDirectory() as tmp:
+        run_campaign(selection, jobs=1, results_dir=tmp)  # cold fill
+        seconds = _timed(lambda: run_campaign(selection, jobs=1, results_dir=tmp))
+        warm = run_campaign(selection, jobs=1, results_dir=tmp)
+    return {"seconds": seconds, "cells": len(selection), "hits": warm.hits}
+
+
 # --------------------------------------------------------------------------
 # tracing overhead
 

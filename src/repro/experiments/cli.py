@@ -4,8 +4,14 @@ Commands:
 
 - ``list`` — show every registered experiment with its paper reference
   and rough cost;
-- ``run <id>... | all | fast`` — regenerate the named artifacts and
-  print them (``fast`` selects the sub-10-second ones);
+- ``run <selection>`` — regenerate the selected artifacts serially and
+  print them; the selection grammar is shared with ``campaign``
+  (``all``, ``fast``, ``medium``, ``slow``, ``not-slow``, explicit
+  ids).  ``run all`` is an alias for ``campaign -j 1 --no-cache``
+  minus the manifest;
+- ``campaign <selection>`` — run a selection across ``-j`` worker
+  processes with the content-addressed result cache, live per-cell
+  progress, artifact exports, and a resumable manifest;
 - ``trace`` — capture a structured event trace of a canonical workload
   (export as JSONL or a ``chrome://tracing`` file) or regenerate the
   golden-trace fixture with ``--write-goldens``;
@@ -18,9 +24,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.registry import get_experiment, list_experiments, select
 
 
 def _cmd_list(_args) -> int:
@@ -31,94 +36,115 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    ids: list[str] = []
-    for token in args.ids:
-        if token == "all":
-            ids.extend(e.id for e in list_experiments())
-        elif token == "fast":
-            ids.extend(e.id for e in list_experiments() if e.cost == "fast")
-        else:
-            ids.append(token)
-    if not ids:
+    """Serial, uncached execution — ``campaign -j 1 --no-cache`` with
+    the classic rendered-artifact output and no manifest."""
+    from repro.experiments.campaign import run_campaign
+
+    exps = select(args.ids)
+    if not exps:
         print("no experiments selected", file=sys.stderr)
         return 2
     out_dir = getattr(args, "output", None)
-    if out_dir:
-        import os
-
-        os.makedirs(out_dir, exist_ok=True)
     as_json = getattr(args, "json", False)
     json_docs: list[dict] = []
-    failed: list[str] = []
-    for exp_id in dict.fromkeys(ids):  # dedupe, keep order
-        exp = get_experiment(exp_id)
-        t0 = time.time()
+
+    def on_start(exp, _index, _total) -> None:
         if not as_json:
             print(f"--- running {exp.id} ({exp.paper_ref}; cost: {exp.cost}) ---")
-        try:
-            artifact = exp.runner()
-        except Exception as exc:  # noqa: BLE001 - report and continue
-            print(f"{exp.id} FAILED: {exc!r}", file=sys.stderr)
-            failed.append(exp.id)
-            continue
-        if as_json:
-            json_docs.append(_artifact_dict(exp, artifact))
+
+    def on_cell(cell, _done, _total) -> None:
+        if not cell.ok:
+            print(f"{cell.experiment_id} FAILED: {cell.error}", file=sys.stderr)
+        elif as_json:
+            json_docs.append(cell.artifact)
         else:
-            print(artifact.render())
-            print(f"[{exp.id} took {time.time() - t0:.1f}s]\n")
-        if out_dir:
-            _export(out_dir, exp, artifact)
+            print(cell.text)
+            print(f"[{cell.experiment_id} took {cell.seconds:.1f}s]\n")
+
+    result = run_campaign(
+        exps,
+        jobs=1,
+        cache=False,
+        results_dir=out_dir,
+        write_artifacts=bool(out_dir),
+        write_manifest=False,
+        on_start=on_start,
+        on_cell=on_cell,
+    )
     if as_json:
         import json
 
         print(json.dumps(json_docs if len(json_docs) != 1 else json_docs[0],
                          indent=2))
-    if failed:
+    if result.failed:
         print(
-            f"{len(failed)} of {len(dict.fromkeys(ids))} experiments failed: "
-            + ", ".join(failed),
+            f"{len(result.failed)} of {len(exps)} experiments failed: "
+            + ", ".join(result.failed),
             file=sys.stderr,
         )
         return 1
     return 0
 
 
-def _artifact_dict(exp, artifact) -> dict:
-    """Structured form of an artifact (the run --json / --output schema)."""
-    body = artifact.body
-    data: dict = {
-        "experiment": exp.id,
-        "paper_ref": exp.paper_ref,
-        "title": artifact.title,
-        "headlines": {
-            k: {"measured": m, "paper": p}
-            for k, (m, p) in artifact.headlines.items()
-        },
-        "notes": artifact.notes,
-    }
-    if hasattr(body, "rows"):  # Table
-        data["kind"] = "table"
-        data["columns"] = body.col_headers
-        data["rows"] = [{"label": label, "cells": cells} for label, cells in body.rows]
-    else:  # Figure
-        data["kind"] = "figure"
-        data["x_label"] = body.x_label
-        data["y_label"] = body.y_label
-        data["series"] = [
-            {"label": s.label, "points": s.points} for s in body.series
-        ]
-    return data
+def _cmd_campaign(args) -> int:
+    from repro.experiments.campaign import run_campaign
 
+    exps = select(args.ids)
+    if not exps:
+        print("no experiments selected", file=sys.stderr)
+        return 2
+    cache = not args.no_cache
+    print(
+        f"--- campaign: {len(exps)} cells, {args.jobs} worker(s), "
+        f"cache {'on' if cache else 'off'}"
+        + (", resume" if args.resume else "")
+        + f" -> {args.output} ---"
+    )
 
-def _export(out_dir: str, exp, artifact) -> None:
-    """Write <id>.txt (rendered) and <id>.json (structured) artifacts."""
-    import json
-    import os
+    def on_cell(cell, done, total) -> None:
+        if cell.cached:
+            provenance = "cache hit"
+        elif cell.worker >= 0:
+            provenance = f"worker {cell.worker}"
+        else:
+            provenance = "?"
+        status = "ok    " if cell.ok else "FAILED"
+        line = (
+            f"[{done:{len(str(total))}d}/{total}] {cell.experiment_id:12s} "
+            f"{status} {cell.seconds:7.2f}s  {provenance}"
+        )
+        if not cell.ok:
+            line += f"  {cell.error}"
+        print(line, flush=True)
 
-    with open(os.path.join(out_dir, f"{exp.id}.txt"), "w") as fh:
-        fh.write(artifact.render() + "\n")
-    with open(os.path.join(out_dir, f"{exp.id}.json"), "w") as fh:
-        json.dump(_artifact_dict(exp, artifact), fh, indent=2)
+    result = run_campaign(
+        exps,
+        jobs=args.jobs,
+        cache=cache,
+        resume=args.resume,
+        results_dir=args.output,
+        on_cell=on_cell,
+    )
+    ok = len(result.cells) - len(result.failed)
+    print(
+        f"campaign: {ok} ok, {len(result.failed)} failed  "
+        f"({result.hits} cache hit(s), {result.misses} executed)  "
+        f"in {result.duration:.1f}s"
+    )
+    if result.manifest_path:
+        print(f"manifest: {result.manifest_path}")
+    if result.failed:
+        print("failed: " + ", ".join(result.failed), file=sys.stderr)
+        return 1
+    if args.expect_all_cached and result.misses:
+        missed = [c.experiment_id for c in result.cells if not c.cached]
+        print(
+            f"--expect-all-cached: {len(missed)} cell(s) executed a "
+            "runner instead of hitting the cache: " + ", ".join(missed),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -184,6 +210,7 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_trace(args) -> int:
     from repro.experiments import goldens
+    from repro.simmpi.tracing import CommTrace, TraceRecorder
 
     if args.write_goldens is not None:
         path = args.write_goldens or goldens.FIXTURE_PATH
@@ -195,13 +222,25 @@ def _cmd_trace(args) -> int:
     if args.workload is None:
         print("choose a workload or pass --write-goldens", file=sys.stderr)
         return 2
-    recorder = goldens.run_golden(args.workload, backend=args.backend)
-    print(recorder.summary())
+    if args.mode is False:
+        print("trace mode 'off' records nothing; pick 'events' or "
+              "'aggregate'", file=sys.stderr)
+        return 2
+    trace = goldens.run_golden(args.workload, backend=args.backend,
+                               trace=args.mode)
+    if isinstance(trace, TraceRecorder):
+        print(trace.summary())
+    elif isinstance(trace, CommTrace):
+        print(trace.render())
     if args.output:
+        if not isinstance(trace, TraceRecorder):
+            print("--output needs --mode events (the aggregate view has "
+                  "no event stream)", file=sys.stderr)
+            return 2
         if args.format == "chrome":
-            recorder.write_chrome_trace(args.output)
+            trace.write_chrome_trace(args.output)
         else:
-            recorder.write_jsonl(args.output)
+            trace.write_jsonl(args.output)
         print(f"wrote {args.output} ({args.format})")
     return 0
 
@@ -233,7 +272,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
-    run = sub.add_parser("run", help="run experiments by id ('all', 'fast')")
+    run = sub.add_parser(
+        "run",
+        help="run experiments serially ('all', 'fast', 'medium', 'slow', "
+        "'not-slow', or ids)",
+    )
     run.add_argument("ids", nargs="+")
     run.add_argument(
         "--output",
@@ -246,6 +289,46 @@ def main(argv: list[str] | None = None) -> int:
         help="print structured JSON to stdout instead of rendered text",
     )
     run.set_defaults(func=_cmd_run)
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a selection across N workers with the result cache "
+        "and a resumable manifest",
+    )
+    campaign.add_argument(
+        "ids",
+        nargs="*",
+        default=["all"],
+        help="selection tokens (default: all); same grammar as 'run'",
+    )
+    campaign.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="worker processes (default: 1; outputs are byte-identical "
+        "for any N)",
+    )
+    campaign.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="execute every cell even if a cached result exists",
+    )
+    campaign.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse cells recorded ok in an existing manifest (same "
+        "code fingerprint) whose artifact files are still present",
+    )
+    campaign.add_argument(
+        "--output",
+        metavar="DIR",
+        default="results",
+        help="results tree: artifacts, campaign.json manifest, cache/ "
+        "(default: results)",
+    )
+    campaign.add_argument(
+        "--expect-all-cached",
+        action="store_true",
+        help="exit 1 if any cell executed a runner (CI warm-cache check)",
+    )
+    campaign.set_defaults(func=_cmd_campaign)
     bench = sub.add_parser(
         "bench", help="time the substrate's hot paths (BENCH_core.json)"
     )
@@ -299,6 +382,25 @@ def main(argv: list[str] | None = None) -> int:
         "--backend",
         default="auto",
         help="AEAD byte-work backend for encrypted runs (auto|pure|chacha|openssl)",
+    )
+    from repro.simmpi.tracing import parse_trace_mode
+
+    def trace_mode(value: str):
+        # same parser as api.run_job(trace=...); ArgumentTypeError keeps
+        # the message (argparse would swallow a plain ValueError's text)
+        try:
+            return parse_trace_mode(value)
+        except ValueError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+
+    trace.add_argument(
+        "--mode",
+        type=trace_mode,
+        default="events",
+        metavar="MODE",
+        help="trace level: 'events' (full structured stream, default) "
+        "or 'aggregate' (CommTrace statistics); same parser as "
+        "api.run_job(trace=...)",
     )
     trace.add_argument(
         "--format",

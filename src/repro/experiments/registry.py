@@ -1,9 +1,16 @@
-"""The experiment registry: every table and figure of the paper's §V."""
+"""The experiment registry: every table and figure of the paper's §V.
+
+Besides the registry itself, this module owns the one selection grammar
+used everywhere experiments are chosen (`run`, `campaign`,
+:func:`repro.api.run_campaign`): :func:`select` resolves a sequence of
+tokens — tier names, ``all``, ``not-slow``, or explicit ids — into
+experiments, deduplicated and in registry order per token.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.experiments import figures, tables
 from repro.experiments.report import Artifact
@@ -78,3 +85,40 @@ def get_experiment(exp_id: str) -> Experiment:
 
 def list_experiments() -> list[Experiment]:
     return list(EXPERIMENTS.values())
+
+
+#: the cost tiers of the registry, cheapest first (also selection tokens)
+COST_TIERS = ("fast", "medium", "slow")
+
+#: selection tokens that expand to more than one experiment
+SELECTION_TOKENS = ("all", "not-slow") + COST_TIERS
+
+
+def select(tokens: Iterable[str]) -> list[Experiment]:
+    """Resolve selection *tokens* into experiments, deduplicated.
+
+    Grammar (one token per element, case-insensitive):
+
+    - ``all`` — every registered experiment, registry order;
+    - ``fast`` / ``medium`` / ``slow`` — every experiment of that cost
+      tier, registry order;
+    - ``not-slow`` — the fast and medium tiers (registry order);
+    - anything else — an explicit experiment id (``fig6``, ``table1``).
+
+    Duplicates are dropped keeping the first occurrence, so
+    ``select(["fig6", "all"])`` runs fig6 first and everything else
+    after it.  Unknown ids raise :class:`ValueError` (via
+    :func:`get_experiment`).
+    """
+    ids: list[str] = []
+    for token in tokens:
+        t = token.lower()
+        if t == "all":
+            ids.extend(e.id for e in list_experiments())
+        elif t in COST_TIERS:
+            ids.extend(e.id for e in list_experiments() if e.cost == t)
+        elif t == "not-slow":
+            ids.extend(e.id for e in list_experiments() if e.cost != "slow")
+        else:
+            ids.append(t)
+    return [get_experiment(exp_id) for exp_id in dict.fromkeys(ids)]

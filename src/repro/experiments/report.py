@@ -1,7 +1,11 @@
-"""Artifact wrappers the experiment runners return."""
+"""Artifact wrappers the experiment runners return, plus their
+canonical serialized forms (the ``run --json`` / ``--output`` /
+campaign-cache schema)."""
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Union
 
@@ -32,3 +36,47 @@ class Artifact:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+
+def artifact_dict(exp, artifact: Artifact) -> dict:
+    """Structured form of an artifact — one canonical schema shared by
+    ``run --json``, ``--output`` exports, and the campaign result cache.
+
+    The dict is built in a fixed key order and contains only plain JSON
+    types, so ``json.dumps(..., indent=2)`` of it is byte-reproducible
+    for a deterministic runner — the property the campaign's
+    parallel-vs-serial byte-equality invariant rests on.
+    """
+    body = artifact.body
+    data: dict = {
+        "experiment": exp.id,
+        "paper_ref": exp.paper_ref,
+        "title": artifact.title,
+        "headlines": {
+            k: {"measured": m, "paper": p}
+            for k, (m, p) in artifact.headlines.items()
+        },
+        "notes": artifact.notes,
+    }
+    if hasattr(body, "rows"):  # Table
+        data["kind"] = "table"
+        data["columns"] = body.col_headers
+        data["rows"] = [{"label": label, "cells": cells} for label, cells in body.rows]
+    else:  # Figure
+        data["kind"] = "figure"
+        data["x_label"] = body.x_label
+        data["y_label"] = body.y_label
+        data["series"] = [
+            {"label": s.label, "points": s.points} for s in body.series
+        ]
+    return data
+
+
+def write_artifact_files(out_dir: str, exp_id: str, text: str, doc: dict) -> None:
+    """Write ``<id>.txt`` (rendered) and ``<id>.json`` (structured) into
+    *out_dir* — the export format of ``run --output`` and ``campaign``."""
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, f"{exp_id}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    with open(os.path.join(out_dir, f"{exp_id}.json"), "w") as fh:
+        json.dump(doc, fh, indent=2)

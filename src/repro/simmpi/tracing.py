@@ -41,6 +41,7 @@ import json
 import math
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Literal, Union
 
 
 @dataclass
@@ -198,6 +199,15 @@ class TraceRecorder:
         self._sched = None
 
     # -- wiring -----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The attached scheduler holds OS-level locks and cannot cross a
+        # process boundary.  A recorder only needs its clock while the job
+        # is running, so detach it; parallel sweep ships finished
+        # recorders back from pool workers this way.
+        state = self.__dict__.copy()
+        state["_sched"] = None
+        return state
 
     def attach(self, scheduler) -> None:
         """Bind the recorder to a job's scheduler (its virtual clock)."""
@@ -359,6 +369,56 @@ class TraceRecorder:
         return "\n".join(lines)
 
 
+#: The typed trace selector every tracing entry point shares
+#: (``run_program``, ``api.run_job``, ``api.sweep``, the ``trace`` CLI):
+#: ``False`` — off (zero cost); ``True`` — aggregate :class:`CommTrace`;
+#: ``"events"`` — fresh :class:`TraceRecorder` with the full structured
+#: stream; or a caller-constructed :class:`TraceRecorder`.
+TraceMode = Union[bool, Literal["events"], TraceRecorder]
+
+#: CLI-friendly spellings accepted by :func:`parse_trace_mode`
+_TRACE_MODE_STRINGS: dict[str, "bool | str"] = {
+    "off": False,
+    "false": False,
+    "aggregate": True,
+    "true": True,
+    "events": "events",
+}
+
+
+def parse_trace_mode(value) -> TraceMode:
+    """Normalize a ``trace=`` argument into a canonical :data:`TraceMode`.
+
+    Accepts ``None``/bools, a :class:`TraceRecorder`, and the strings
+    ``"off"``/``"false"`` (→ ``False``), ``"aggregate"``/``"true"``
+    (→ ``True``), and ``"events"``.  Any other string raises
+    :class:`ValueError` naming the valid modes — a typo like
+    ``trace="event"`` must never be silently interpreted; any other
+    type raises :class:`TypeError`.
+
+    This is the single parser: the API facade validates through it and
+    the CLI uses it as an ``argparse`` type, so both reject exactly the
+    same inputs with the same message.
+    """
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, TraceRecorder):
+        return value
+    if isinstance(value, str):
+        try:
+            return _TRACE_MODE_STRINGS[value.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown trace mode {value!r}; valid modes: False ('off'), "
+                f"True ('aggregate'), 'events', or a TraceRecorder instance"
+            ) from None
+    raise TypeError(
+        f"trace must be a bool, 'events', or a TraceRecorder, got {value!r}"
+    )
+
+
 def resolve_trace(trace):
     """Normalize a ``trace=`` argument into ``(recorder, comm_trace)``.
 
@@ -366,15 +426,13 @@ def resolve_trace(trace):
     (None, CommTrace); ``"events"`` → fresh recorder; a
     :class:`TraceRecorder` → that recorder.  With a recorder, the
     CommTrace returned is the recorder's embedded :attr:`~TraceRecorder.comm`.
+    Validation rides on :func:`parse_trace_mode`.
     """
-    if trace is None or trace is False:
+    trace = parse_trace_mode(trace)
+    if trace is False:
         return None, None
     if trace is True:
         return None, CommTrace()
     if trace == "events":
         trace = TraceRecorder()
-    if isinstance(trace, TraceRecorder):
-        return trace, trace.comm
-    raise TypeError(
-        f"trace must be a bool, 'events', or a TraceRecorder, got {trace!r}"
-    )
+    return trace, trace.comm

@@ -15,6 +15,7 @@ from repro.des.process import Scheduler
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
 from repro.models.network import NetworkModel, get_network
 from repro.simmpi.comm import CommHandle, Communicator
+from repro.simmpi.tracing import TraceMode, resolve_trace
 from repro.simmpi.topology import ClusterRuntime
 
 
@@ -95,7 +96,7 @@ def run_program(
     network: str | NetworkModel = "ethernet",
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
-    trace=False,
+    trace: TraceMode = False,
     fault_injector=None,
 ) -> SimResult:
     """Run *program* on *nranks* simulated ranks; returns a SimResult.
@@ -113,8 +114,6 @@ def run_program(
     :class:`repro.simmpi.faults.FaultInjector`) lets an adversary
     tamper with deliveries.
     """
-    from repro.simmpi.tracing import resolve_trace
-
     net = get_network(network) if isinstance(network, str) else network
     scheduler = Scheduler()
     runtime = ClusterRuntime(scheduler, cluster, net, nranks, placement)

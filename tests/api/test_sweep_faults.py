@@ -1,0 +1,146 @@
+"""sweep() fault injection and parallel-grid semantics.
+
+PR 1's sweep silently accepted no fault injector at all (the keyword
+existed only on run_job); these tests pin the repaired surface: the
+keyword is forwarded per cell, one injector instance is never shared
+across cells (mirroring the TraceRecorder rule), and a factory form
+gives each cell a fresh adversary.
+"""
+
+import pytest
+
+from repro import api
+from repro.crypto.errors import AuthenticationError
+from repro.models.cpu import ClusterSpec
+from repro.simmpi.faults import FaultAction, FaultInjector, target_route
+
+CLUSTER = ClusterSpec(nodes=2, cores_per_node=4)
+SECURITY = api.SecurityConfig(nonce_strategy="counter", crypto_mode="real")
+
+
+def _enc_exchange(ctx):
+    if ctx.rank == 0:
+        ctx.enc.send(b"\x00" * 64, 1, tag=0)
+        return "sent"
+    try:
+        ctx.enc.recv(0, 0)
+        return "accepted"
+    except AuthenticationError:
+        return "rejected"
+
+
+def _corrupting_factory():
+    return FaultInjector(target_route(0, 1, FaultAction.CORRUPT),
+                         corrupt_bit=300)
+
+
+def test_sweep_cell_records_auth_fail_events():
+    """The regression the satellite names: a sweep cell under fault
+    injection must actually reject the tampered message and record the
+    auth_fail event in its trace."""
+    points = api.sweep(
+        _enc_exchange,
+        nranks=2,
+        networks=("ethernet", "infiniband"),
+        securities=(SECURITY,),
+        cluster=CLUSTER,
+        trace="events",
+        fault_injector=_corrupting_factory,
+    )
+    assert len(points) == 2
+    for point in points:
+        assert point.result.results == ["sent", "rejected"]
+        (fail,) = point.result.trace.events_in("aead", "auth_fail")
+        assert fail.rank == 1
+
+
+def test_sweep_rejects_one_injector_instance_across_cells():
+    with pytest.raises(ValueError, match="factory"):
+        api.sweep(
+            _enc_exchange,
+            nranks=2,
+            networks=("ethernet", "infiniband"),
+            securities=(SECURITY,),
+            cluster=CLUSTER,
+            fault_injector=_corrupting_factory(),
+        )
+
+
+def test_sweep_accepts_one_injector_instance_for_one_cell():
+    injector = _corrupting_factory()
+    points = api.sweep(
+        _enc_exchange,
+        nranks=2,
+        securities=(SECURITY,),
+        cluster=CLUSTER,
+        fault_injector=injector,
+    )
+    assert points[0].result.results == ["sent", "rejected"]
+    assert injector.injected[FaultAction.CORRUPT] == 1  # ledger usable
+
+
+def test_sweep_factory_is_invoked_once_per_cell():
+    made = []
+
+    def counting_factory():
+        made.append(1)
+        return _corrupting_factory()
+
+    api.sweep(
+        _enc_exchange,
+        nranks=2,
+        networks=("ethernet", "infiniband"),
+        securities=(SECURITY,),
+        cluster=CLUSTER,
+        fault_injector=counting_factory,
+    )
+    assert len(made) == 2
+
+
+def test_sweep_rejects_non_injector_non_factory():
+    with pytest.raises(TypeError, match="fault_injector"):
+        api.sweep(_enc_exchange, nranks=2, securities=(SECURITY,),
+                  cluster=CLUSTER, fault_injector="corrupt-everything")
+
+
+def test_parallel_sweep_matches_serial_byte_for_byte():
+    def workload(ctx):
+        comm = ctx.enc if ctx.enc is not None else ctx.comm
+        peer = 1 - ctx.rank
+        rreq = comm.irecv(peer, tag=1)
+        sreq = comm.isend(b"\x07" * 512, peer, tag=1)
+        got = rreq.wait()
+        sreq.wait()
+        ctx.comm.barrier()
+        return len(got)
+
+    kwargs = dict(
+        nranks=2,
+        networks=("ethernet", "infiniband"),
+        securities=(None, SECURITY),
+        cluster=CLUSTER,
+        trace="events",
+    )
+    serial = api.sweep(workload, **kwargs)
+    parallel = api.sweep(workload, parallel=2, **kwargs)
+    assert [p.label for p in parallel] == [p.label for p in serial]
+    for s_point, p_point in zip(serial, parallel):
+        assert p_point.result.results == s_point.result.results
+        assert p_point.result.duration == s_point.result.duration
+        assert p_point.result.spans == s_point.result.spans
+        # the structured traces agree digest-for-digest across workers
+        if s_point.result.trace is not None:
+            assert p_point.result.trace.digest() == s_point.result.trace.digest()
+
+
+def test_parallel_sweep_with_faults_uses_fresh_injector_per_cell():
+    points = api.sweep(
+        _enc_exchange,
+        nranks=2,
+        networks=("ethernet", "infiniband"),
+        securities=(SECURITY,),
+        cluster=CLUSTER,
+        parallel=2,
+        fault_injector=_corrupting_factory,
+    )
+    assert [p.result.results for p in points] == [["sent", "rejected"]] * 2

@@ -84,3 +84,36 @@ def test_sweep_rejects_one_recorder_across_cells():
             networks=("ethernet", "infiniband"),
             trace=mine,
         )
+
+
+# ---------------------------------------------------------------------------
+# the typed TraceMode surface
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_trace_string_raises_value_error_naming_modes():
+    with pytest.raises(ValueError, match="eventz") as exc_info:
+        api.run_job(_enc_workload, nranks=2, security=SECURITY,
+                    trace="eventz")
+    message = str(exc_info.value)
+    assert "'events'" in message and "aggregate" in message
+    # sweep rejects it eagerly too, before any cell runs
+    with pytest.raises(ValueError, match="unknown trace mode"):
+        api.sweep(_enc_workload, nranks=2, securities=(SECURITY,),
+                  trace="evnts")
+
+
+def test_parse_trace_mode_accepts_documented_spellings():
+    from repro.simmpi.tracing import parse_trace_mode
+
+    assert parse_trace_mode(None) is False
+    assert parse_trace_mode("off") is False
+    assert parse_trace_mode("false") is False
+    assert parse_trace_mode("aggregate") is True
+    assert parse_trace_mode("true") is True
+    assert parse_trace_mode("events") == "events"
+    assert parse_trace_mode(True) is True
+    mine = TraceRecorder()
+    assert parse_trace_mode(mine) is mine
+    with pytest.raises(TypeError):
+        parse_trace_mode(42)

@@ -88,26 +88,68 @@ def test_run_json_flag_multiple_ids_yields_list(capsys):
     assert [d["experiment"] for d in data] == ["fig2", "table1"]
 
 
+def _boom():
+    raise RuntimeError("synthetic artifact failure")
+
+
 def test_run_failure_exits_nonzero_with_summary(capsys, monkeypatch):
-    from dataclasses import replace
+    from repro.experiments import registry
 
-    from repro.experiments import cli
-    from repro.experiments.registry import get_experiment
-
-    def broken(exp_id):
-        exp = get_experiment("fig2" if exp_id == "broken" else exp_id)
-        if exp_id == "broken":
-            def boom():
-                raise RuntimeError("synthetic artifact failure")
-
-            return replace(exp, id="broken", runner=boom)
-        return exp
-
-    monkeypatch.setattr(cli, "get_experiment", broken)
+    broken = registry.Experiment("broken", "Fig. X", "always fails", _boom,
+                                 "fast")
+    monkeypatch.setitem(registry.EXPERIMENTS, "broken", broken)
     assert main(["run", "broken", "fig2"]) == 1
     err = capsys.readouterr().err
     assert "broken FAILED" in err
+    assert "synthetic artifact failure" in err
     assert "1 of 2 experiments failed: broken" in err
+
+
+def test_campaign_cold_then_warm_cache(tmp_path, capsys):
+    out = str(tmp_path)
+    assert main(["campaign", "fig2", "--output", out]) == 0
+    cold = capsys.readouterr().out
+    assert "--- campaign: 1 cells, 1 worker(s), cache on" in cold
+    assert "fig2" in cold and "worker" in cold
+    assert "campaign: 1 ok, 0 failed" in cold
+    assert "manifest:" in cold
+    # a second run is served entirely from the cache
+    assert main(["campaign", "fig2", "--output", out,
+                 "--expect-all-cached"]) == 0
+    warm = capsys.readouterr().out
+    assert "cache hit" in warm
+    assert "(1 cache hit(s), 0 executed)" in warm
+
+
+def test_campaign_expect_all_cached_fails_cold(tmp_path, capsys):
+    assert main(["campaign", "fig2", "--output", str(tmp_path),
+                 "--expect-all-cached"]) == 1
+    err = capsys.readouterr().err
+    assert "--expect-all-cached" in err
+    assert "fig2" in err
+
+
+def test_campaign_failure_lists_failed_cells(tmp_path, capsys, monkeypatch):
+    from repro.experiments import registry
+
+    broken = registry.Experiment("broken", "Fig. X", "always fails", _boom,
+                                 "fast")
+    monkeypatch.setitem(registry.EXPERIMENTS, "broken", broken)
+    assert main(["campaign", "broken", "fig2", "--no-cache",
+                 "--output", str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "broken       FAILED" in captured.out
+    assert "failed: broken" in captured.err
+    # the healthy cell still ran and exported its artifact
+    assert (tmp_path / "fig2.json").exists()
+
+
+def test_campaign_rejects_empty_selection(capsys, monkeypatch):
+    from repro.experiments import registry
+
+    monkeypatch.setattr(registry, "EXPERIMENTS", {})
+    assert main(["campaign"]) == 2
+    assert "no experiments selected" in capsys.readouterr().err
 
 
 def test_bench_smoke_subcommand(tmp_path, capsys):

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.experiments import paperdata
-from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    list_experiments,
+    select,
+)
 from repro.experiments.report import Artifact
 from repro.util.tables import Table
 
@@ -29,6 +34,42 @@ def test_get_experiment():
 def test_costs_are_classified():
     for exp in list_experiments():
         assert exp.cost in ("fast", "medium", "slow")
+
+
+def test_select_expands_tier_tokens_in_registry_order():
+    registry_order = [e.id for e in list_experiments()]
+    everything = [e.id for e in select(["all"])]
+    assert everything == registry_order
+    fast = [e.id for e in select(["fast"])]
+    medium = [e.id for e in select(["medium"])]
+    slow = [e.id for e in select(["slow"])]
+    assert fast and medium and slow
+    assert all(get_experiment(i).cost == "fast" for i in fast)
+    assert all(get_experiment(i).cost == "medium" for i in medium)
+    not_slow = [e.id for e in select(["not-slow"])]
+    assert not_slow == [i for i in registry_order
+                        if get_experiment(i).cost != "slow"]
+    assert set(not_slow) == set(fast) | set(medium)
+
+
+def test_select_dedupes_and_keeps_first_position():
+    # an explicit id before "all" keeps its position; "all" fills the rest
+    ids = [e.id for e in select(["fig6", "all"])]
+    assert ids[0] == "fig6"
+    assert ids.count("fig6") == 1
+    assert set(ids) == set(EXPERIMENTS)
+    # duplicates collapse
+    assert [e.id for e in select(["fig2", "FIG2", "fig2"])] == ["fig2"]
+
+
+def test_select_is_case_insensitive_and_validates():
+    assert [e.id for e in select(["TABLE1"])] == ["table1"]
+    assert [e.id for e in select(["Not-Slow"])] == [
+        e.id for e in select(["not-slow"])
+    ]
+    with pytest.raises(ValueError, match="unknown experiment"):
+        select(["fig2", "nope"])
+    assert select([]) == []
 
 
 def test_artifact_render_includes_headlines_and_notes():

@@ -15,6 +15,7 @@ FAST_EXAMPLES = [
     "key_exchange_demo.py",
     "pipelined_encryption.py",
     "heat_stencil.py",
+    "campaign_demo.py",
     pytest.param("comm_characterization.py", marks=pytest.mark.slow),
 ]
 
