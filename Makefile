@@ -2,14 +2,33 @@
 
 PYTHON ?= python
 
-.PHONY: install check test test-fast test-all bench bench-baseline bench-pytest \
+.PHONY: install check lint check-sanitize test test-fast test-all \
+	bench bench-baseline bench-pytest \
 	trace-goldens check-tracing-overhead \
 	campaign-fast check-campaign-cache \
 	experiments-fast experiments-all examples clean
 
-# The default verification flow: unit tests, then a parallel fast-tier
-# campaign, then the warm-cache invariant (second run executes zero runners).
-check: test campaign-fast check-campaign-cache
+# The default verification flow: static misuse analysis, unit tests,
+# a parallel fast-tier campaign, the warm-cache invariant (second run
+# executes zero runners), and a sanitized re-run of the fast tier.
+check: lint test campaign-fast check-campaign-cache check-sanitize
+
+# Static misuse analysis (MPI protocol, determinism, crypto) over the
+# tree the repo promises to keep clean; exits nonzero on any finding.
+# ruff rides along when installed (config in pyproject.toml).
+lint:
+	$(PYTHON) -m repro.analysis lint src/repro examples
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src/repro examples \
+		|| echo "ruff not installed; skipped style pass"
+
+# Fast-tier campaign with the runtime sanitizer armed in every cell:
+# deadlock diagnosis, leaked-request tracking, nonce-reuse checks.
+# --no-cache because cache hits skip runners (and thus the sanitizer);
+# a separate results tree keeps the main cache warm.
+check-sanitize:
+	$(PYTHON) -m repro.experiments campaign fast -j 4 --no-cache \
+		--sanitize --output results/sanitize
 
 install:
 	$(PYTHON) setup.py develop

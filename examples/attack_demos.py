@@ -9,6 +9,10 @@ resisting the same attacks.
 Run:  python examples/attack_demos.py
 """
 
+# This file demonstrates *attacks*: the constant keys and nonces below
+# are the subject matter, not mistakes.
+# lint-ok-file: CRY001, CRY003
+
 from repro.crypto import attacks
 from repro.crypto.aead import get_aead
 from repro.crypto.errors import AuthenticationError

@@ -24,6 +24,8 @@ GRID = 96  # global grid: GRID x GRID
 STEPS = 25
 NRANKS = 8
 CLUSTER = ClusterSpec(nodes=4, cores_per_node=2)
+TAG_HALO_DOWN = 1  # halo row moving toward higher ranks
+TAG_HALO_UP = 2  # halo row moving toward lower ranks
 
 
 def reference_solution() -> np.ndarray:
@@ -69,13 +71,13 @@ def distributed(ctx):
         t0 = ctx.now
         if has_top_ghost:
             first_interior = block[1].tobytes()
-            recv_req = enc.irecv(ctx.rank - 1, tag=1)
-            enc.send(first_interior, ctx.rank - 1, tag=2)
+            recv_req = enc.irecv(ctx.rank - 1, tag=TAG_HALO_DOWN)
+            enc.send(first_interior, ctx.rank - 1, tag=TAG_HALO_UP)
             block[0] = np.frombuffer(recv_req.wait(), dtype=block.dtype)
         if has_bottom_ghost:
             last_interior = block[-2].tobytes()
-            recv_req = enc.irecv(ctx.rank + 1, tag=2)
-            enc.send(last_interior, ctx.rank + 1, tag=1)
+            recv_req = enc.irecv(ctx.rank + 1, tag=TAG_HALO_UP)
+            enc.send(last_interior, ctx.rank + 1, tag=TAG_HALO_DOWN)
             block[-1] = np.frombuffer(recv_req.wait(), dtype=block.dtype)
         t_comm += ctx.now - t0
 

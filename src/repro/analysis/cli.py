@@ -1,0 +1,106 @@
+"""``python -m repro.analysis`` — the linter's command line.
+
+Two subcommands::
+
+    python -m repro.analysis lint [paths...] [--json] [--select IDS]
+    python -m repro.analysis rules
+
+``lint`` exits 0 when clean, 1 when findings were reported, 2 on usage
+errors.  Default paths cover the tree the repo promises to keep clean:
+``src/repro`` and ``examples``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.findings import all_rules
+from repro.analysis.linter import lint_paths
+
+DEFAULT_PATHS = ("src/repro", "examples")
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    selected = None
+    if args.select:
+        selected = {part.strip() for chunk in args.select
+                    for part in chunk.split(",") if part.strip()}
+        known = {r.id for r in all_rules()}
+        unknown = selected - known
+        if unknown:
+            print(f"unknown rule ids: {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    findings = lint_paths(args.paths or list(DEFAULT_PATHS), rules=selected)
+    if args.json:
+        errors = sum(1 for f in findings if f.severity == "error")
+        print(json.dumps({
+            "findings": [f.to_dict() for f in findings],
+            "counts": {"error": errors, "warning": len(findings) - errors},
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.format(with_hint=not args.no_hints))
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = len(findings) - errors
+        if findings:
+            print(f"\n{len(findings)} finding(s): {errors} error(s), "
+                  f"{warnings} warning(s)")
+        else:
+            print("clean: no findings")
+    return 1 if findings else 0
+
+
+def _cmd_rules(args: argparse.Namespace) -> int:
+    rules = all_rules()
+    if args.json:
+        print(json.dumps({"rules": [
+            {"id": r.id, "title": r.title, "severity": r.severity,
+             "summary": r.summary, "hint": r.hint,
+             "grounding": r.grounding} for r in rules
+        ]}, indent=2))
+        return 0
+    for r in rules:
+        print(f"{r.id} [{r.severity}] {r.title}")
+        print(f"    {r.summary}")
+    print(f"\n{len(rules)} rules; suppress with '# lint-ok: ID' on the "
+          "line (or the comment line above), '# lint-ok-file: ID' for "
+          "a file")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static misuse analysis for simulated-MPI programs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint Python files or trees")
+    lint.add_argument("paths", nargs="*",
+                      help=f"files or directories (default: "
+                           f"{' '.join(DEFAULT_PATHS)})")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable findings on stdout")
+    lint.add_argument("--select", action="append", default=[],
+                      metavar="IDS",
+                      help="comma-separated rule ids to run (default all)")
+    lint.add_argument("--no-hints", action="store_true",
+                      help="omit fix hints from text output")
+    lint.set_defaults(fn=_cmd_lint)
+
+    rules = sub.add_parser("rules", help="print the rule catalog")
+    rules.add_argument("--json", action="store_true")
+    rules.set_defaults(fn=_cmd_rules)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,112 @@
+"""Findings and the rule registry of the static linter.
+
+A :class:`Rule` is an id (``MPI001``, ``DET002``, ``CRY003``, ...), a
+severity, a one-line summary, a fix hint, and a grounding note tying it
+back to the paper or the MPI-checking literature.  Checkers register
+themselves with :func:`rule`; the driver (:mod:`repro.analysis.linter`)
+runs every registered checker over each module and materializes
+:class:`Finding` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One linter hit, addressable as ``path:line:col``."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+
+    def format(self, *, with_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} " \
+               f"[{self.severity}] {self.message}"
+        if with_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check; ``checker`` yields (node, message[, hint])."""
+
+    id: str
+    title: str
+    severity: str
+    summary: str
+    hint: str
+    grounding: str
+    checker: Callable[..., Iterator] = field(repr=False, compare=False,
+                                             default=None)
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(id: str, title: str, *, severity: str, summary: str, hint: str,
+         grounding: str):
+    """Decorator: register *checker* under a rule id."""
+    if severity not in SEVERITIES:
+        raise ValueError(f"bad severity {severity!r} for {id}")
+    if id in _RULES:
+        raise ValueError(f"rule {id} already registered")
+
+    def decorate(checker):
+        _RULES[id] = Rule(
+            id=id, title=title, severity=severity, summary=summary,
+            hint=hint, grounding=grounding, checker=checker,
+        )
+        return checker
+
+    return decorate
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (checkers loaded on demand)."""
+    _ensure_loaded()
+    return [_RULES[k] for k in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    _ensure_loaded()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}") \
+            from None
+
+
+_loaded = False
+
+
+def _ensure_loaded() -> None:
+    """Import the checker modules (they register rules on import)."""
+    global _loaded
+    if not _loaded:
+        from repro.analysis import checks_crypto  # noqa: F401
+        from repro.analysis import checks_det  # noqa: F401
+        from repro.analysis import checks_mpi  # noqa: F401
+
+        _loaded = True

@@ -1,0 +1,183 @@
+"""The linter driver: files in, :class:`Finding` objects out.
+
+Suppression syntax (documented in ANALYSIS.md):
+
+- ``# lint-ok: CRY001`` on the offending line — or on a comment-only
+  line directly above it — suppresses the listed rule ids there
+  (comma-separated for several);
+- ``# lint-ok`` with no ids suppresses every rule on that line;
+- ``# lint-ok-file: CRY003`` anywhere in the file suppresses the
+  listed ids for the whole file.
+
+Suppressions are deliberate, reviewable statements; the committed tree
+lints clean only because each one carries its justification in the
+surrounding comment.
+"""
+
+from __future__ import annotations
+
+import inspect
+import os
+import re
+import textwrap
+from typing import Iterable, Sequence
+
+from repro.analysis.astutils import ModuleContext
+from repro.analysis.findings import Finding, all_rules
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint-ok(?P<file>-file)?\s*(?::\s*(?P<ids>[A-Za-z0-9_,\s]+?))?\s*(?:#|$|—|-{2})"
+)
+
+#: sentinel meaning "every rule"
+_ALL = "*"
+
+
+def _parse_suppressions(lines: Sequence[str]):
+    file_allow: set[str] = set()
+    line_allow: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        if "lint-ok" not in line:
+            continue
+        match = _SUPPRESS_RE.search(line + "\n")
+        if match is None:
+            continue
+        ids_text = match.group("ids")
+        ids = ({_ALL} if not ids_text else
+               {part.strip() for part in ids_text.split(",") if part.strip()})
+        if match.group("file"):
+            file_allow |= ids
+        else:
+            line_allow.setdefault(i, set()).update(ids)
+    return file_allow, line_allow
+
+
+def _suppressed(finding: Finding, lines: Sequence[str],
+                file_allow: set[str],
+                line_allow: dict[int, set[str]]) -> bool:
+    if _ALL in file_allow or finding.rule in file_allow:
+        return True
+    candidates = [finding.line]
+    above = finding.line - 1
+    if 1 <= above <= len(lines) and lines[above - 1].lstrip().startswith("#"):
+        candidates.append(above)
+    for lineno in candidates:
+        ids = line_allow.get(lineno)
+        if ids and (_ALL in ids or finding.rule in ids):
+            return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    rules: Iterable[str] | None = None,
+    force_rank_scope: bool = False,
+) -> list[Finding]:
+    """Lint one module's source; returns findings sorted by position."""
+    try:
+        mod = ModuleContext(path, source, force_rank_scope=force_rank_scope)
+    except SyntaxError as exc:
+        return [Finding(
+            rule="E999", severity="error", path=path,
+            line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+        )]
+    wanted = set(rules) if rules is not None else None
+    findings: list[Finding] = []
+    for rule in all_rules():
+        if wanted is not None and rule.id not in wanted:
+            continue
+        for hit in rule.checker(mod):
+            node, message = hit[0], hit[1]
+            hint = hit[2] if len(hit) > 2 else rule.hint
+            findings.append(Finding(
+                rule=rule.id, severity=rule.severity, path=path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message, hint=hint,
+            ))
+    file_allow, line_allow = _parse_suppressions(mod.lines)
+    findings = [f for f in findings
+                if not _suppressed(f, mod.lines, file_allow, line_allow)]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]):
+    """Yield .py files under *paths* (files pass through) in sorted
+    order, skipping hidden directories and __pycache__."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if not d.startswith(".") and d != "__pycache__"
+            )
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    *,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every Python file under *paths*."""
+    findings: list[Finding] = []
+    for filename in iter_python_files(paths):
+        try:
+            with open(filename, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            findings.append(Finding(
+                rule="E998", severity="error", path=filename, line=1,
+                col=0, message=f"cannot read file: {exc}",
+            ))
+            continue
+        findings.extend(lint_source(source, filename, rules=rules))
+    return findings
+
+
+def lint_callable(fn, *, rules: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one workload/job function (the ``api.lint_job`` backend).
+
+    The function's source is extracted and linted with its top-level
+    definitions forced into rank scope — a job function *is* rank code
+    whatever its parameter is called.
+    """
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise ValueError(
+            f"cannot lint {fn!r}: its source is not retrievable "
+            "(REPL/exec-defined functions have none; define the "
+            "workload in a file)"
+        ) from exc
+    path = f"<{getattr(fn, '__module__', '?')}." \
+           f"{getattr(fn, '__qualname__', repr(fn))}>"
+    findings = lint_source(source, path, rules=rules,
+                           force_rank_scope=True)
+    # Re-anchor line numbers to the defining file where possible.
+    try:
+        _lines, start = inspect.getsourcelines(fn)
+    except (OSError, TypeError):
+        return findings
+    return [
+        Finding(rule=f.rule, severity=f.severity, path=f.path,
+                line=f.line + start - 1, col=f.col, message=f.message,
+                hint=f.hint)
+        for f in findings
+    ]
+
+
+__all__ = [
+    "lint_callable",
+    "lint_paths",
+    "lint_source",
+    "iter_python_files",
+]

@@ -62,6 +62,7 @@ __all__ = [
     "SweepPoint",
     "TraceMode",
     "get_experiment",
+    "lint_job",
     "list_experiments",
     "parse_trace_mode",
     "run_campaign",
@@ -94,6 +95,11 @@ class JobResult:
     security: SecurityConfig | None = None
     #: fabric name the job ran on
     network: str = "ethernet"
+    #: a :class:`repro.analysis.sanitize.SanitizerReport` when the job
+    #: ran with ``sanitize=True`` (None otherwise); a job with leaks
+    #: raises :class:`repro.analysis.sanitize.SanitizerError` instead
+    #: of returning
+    sanitizer: Any = None
 
 
 @dataclass(frozen=True)
@@ -124,6 +130,7 @@ def run_job(
     placement: str = "block",
     trace: TraceMode = False,
     fault_injector: FaultInjector | None = None,
+    sanitize: bool | None = None,
 ) -> JobResult:
     """Run *workload* on *nranks* simulated ranks; the facade's mpiexec.
 
@@ -141,6 +148,12 @@ def run_job(
     collective, AEAD layers) and per-rank counters, exportable as JSONL
     or a Chrome ``about://tracing`` file.  Unknown strings raise
     :class:`ValueError` up front (see :func:`parse_trace_mode`).
+
+    *sanitize* arms the runtime sanitizer
+    (:mod:`repro.analysis.sanitize`): deadlock diagnosis with the
+    wait-for cycle, leaked-request tracking at job end, and nonce-reuse
+    checking on every AEAD seal.  The report rides on
+    ``JobResult.sanitizer``; virtual timing is unaffected.
     """
     trace = parse_trace_mode(trace)
     if security is None:
@@ -160,6 +173,7 @@ def run_job(
         placement=placement,
         trace=trace,
         fault_injector=fault_injector,
+        sanitize=sanitize,
     )
     return JobResult(
         results=sim.results,
@@ -168,6 +182,7 @@ def run_job(
         trace=sim.trace,
         security=security,
         network=_network_name(network),
+        sanitizer=sim.sanitizer,
     )
 
 
@@ -182,6 +197,7 @@ def sweep(
     trace: TraceMode = False,
     fault_injector: FaultSpec = None,
     parallel: int = 1,
+    sanitize: bool | None = None,
 ) -> list[SweepPoint]:
     """Run *workload* across the (network × security) grid.
 
@@ -245,6 +261,7 @@ def sweep(
                 placement=placement,
                 trace=trace,
                 fault_injector=injector,
+                sanitize=sanitize,
             )
 
         return task
@@ -263,6 +280,24 @@ def sweep(
     ]
 
 
+def lint_job(workload: Callable[[RankContext], Any]):
+    """Statically lint one workload function; the facade's code review.
+
+    Runs the :mod:`repro.analysis` rule set (MPI protocol, determinism,
+    crypto misuse) over the function's source with its top-level
+    definitions treated as rank code.  Returns the list of
+    :class:`repro.analysis.Finding` (empty when clean), line numbers
+    anchored to the defining file::
+
+        findings = api.lint_job(my_rank_fn)
+        for f in findings:
+            print(f.format())
+    """
+    from repro.analysis import lint_callable
+
+    return lint_callable(workload)
+
+
 def run_campaign(
     selection: Sequence[str] | Sequence[Experiment] = ("all",),
     *,
@@ -273,6 +308,7 @@ def run_campaign(
     cache_dir: str | None = None,
     write_artifacts: bool = True,
     write_manifest: bool = True,
+    sanitize: bool = False,
 ) -> "CampaignResult":
     """Run a campaign of registry experiments; the facade's batch lane.
 
@@ -285,6 +321,11 @@ def run_campaign(
     by (experiment id, config digest, code fingerprint of
     ``src/repro``), so a warm re-run executes no runners at all.  A
     resumable manifest lands at ``<results_dir>/campaign.json``.
+
+    *sanitize* arms the runtime sanitizer for every executed cell (see
+    :func:`run_job`); sanitizer violations surface as failed cells.
+    Cache hits skip runners and therefore the sanitizer — combine with
+    ``cache=False`` for a full sanitized sweep.
 
     Returns a frozen
     :class:`repro.experiments.campaign.CampaignResult`; failures never
@@ -301,4 +342,5 @@ def run_campaign(
         cache_dir=cache_dir,
         write_artifacts=write_artifacts,
         write_manifest=write_manifest,
+        sanitize=sanitize,
     )

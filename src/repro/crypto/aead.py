@@ -14,7 +14,7 @@ from __future__ import annotations
 import abc
 from typing import Callable
 
-from repro.crypto.errors import CryptoError, KeyFormatError
+from repro.crypto.errors import CryptoError, KeyFormatError, NonceReuseError
 
 NONCE_SIZE = 12
 TAG_SIZE = 16
@@ -124,6 +124,54 @@ def get_aead(key: bytes, backend: str = "auto") -> AEAD:
             _INSTANCE_CACHE.pop(next(iter(_INSTANCE_CACHE)))
         _INSTANCE_CACHE[cache_key] = instance
     return instance
+
+
+class NonceLedger:
+    """Record of every nonce sealed under one key; repeats raise.
+
+    The job-wide sanitizer (:mod:`repro.analysis.sanitize`) keeps its
+    own per-key ledgers; this class is the standalone building block for
+    code that drives an AEAD directly (tests, host-side tools) and wants
+    the same guarantee.
+    """
+
+    __slots__ = ("_seen",)
+
+    def __init__(self) -> None:
+        self._seen: set[bytes] = set()
+
+    def __len__(self) -> int:
+        return len(self._seen)
+
+    def check(self, nonce: bytes) -> None:
+        """Record *nonce*; raise :class:`NonceReuseError` on a repeat."""
+        nonce = bytes(nonce)
+        if nonce in self._seen:
+            raise NonceReuseError(
+                f"nonce {nonce.hex()} already used under this key"
+            )
+        self._seen.add(nonce)
+
+
+class NonceGuardedAEAD(AEAD):
+    """An AEAD wrapper whose ``seal`` refuses to repeat a nonce.
+
+    Wraps any backend instance; ``open`` is passed through untouched
+    (decrypting the same message twice is legitimate).
+    """
+
+    def __init__(self, inner: AEAD):
+        super().__init__(inner.key)
+        self.inner = inner
+        self.name = f"guarded:{inner.name}"
+        self.ledger = NonceLedger()
+
+    def seal(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
+        self.ledger.check(nonce)
+        return self.inner.seal(nonce, plaintext, aad)
+
+    def open(self, nonce: bytes, ciphertext: bytes, aad: bytes = b"") -> bytes:
+        return self.inner.open(nonce, ciphertext, aad)
 
 
 _loaded = False

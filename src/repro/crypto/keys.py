@@ -21,6 +21,7 @@ _HASH_LEN = 32
 
 #: The stand-in for the paper's compiled-in key (256-bit).  Obviously
 #: not secret; exactly as (in)secure as the paper's own arrangement.
+# lint-ok: CRY003 — deliberately hardcoded, mirroring the paper's §IV
 HARDCODED_KEY_256 = bytes.fromhex(
     "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4"
 )

@@ -84,6 +84,10 @@ class EncryptedComm:
         )
         self._aead = get_aead(self.config.key, self.config.backend)
         self._nonces = make_nonce_source(self.config.nonce_strategy, ctx.rank)
+        #: job sanitizer (repro.analysis.sanitize.Sanitizer) — when set,
+        #: every seal's (key, nonce) pair is checked for reuse, even in
+        #: modeled mode where no real AEAD call happens
+        self._san = getattr(ctx, "sanitizer", None)
         #: per-source anti-replay windows (populated lazily when
         #: config.replay_window > 0)
         self._replay_guards: dict[int, ReplayGuard] = {}
@@ -113,6 +117,8 @@ class EncryptedComm:
         self.ctx.compute(dur)
         self.bytes_encrypted += len(plaintext)
         nonce = self._nonces.next()
+        if self._san is not None:
+            self._san.check_nonce(self._aead.key, nonce, self.rank)
         rec = self.ctx.recorder
         if rec is not None:
             rec.emit("aead", "seal", self.rank, backend=self._aead.name,

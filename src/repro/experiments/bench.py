@@ -60,9 +60,11 @@ def _bench_gcm_seal(mode: str) -> dict:
     from repro.crypto.aead import get_aead
 
     size, reps = _gcm_sizes(mode)
-    aead = get_aead(bytes(range(32)), "pure")
+    # Fixed key and single-use nonce: this times one seal, it never
+    # encrypts a second message under the pair.
+    aead = get_aead(bytes(range(32)), "pure")  # lint-ok: CRY003
     payload = bytes((7 * i + 13) & 0xFF for i in range(size))
-    nonce = bytes(12)
+    nonce = bytes(12)  # lint-ok: CRY001
     aead.seal(nonce, payload)  # warm the per-key table caches
     seconds = min(_timed(lambda: aead.seal(nonce, payload)) for _ in range(reps))
     return {"seconds": seconds, "bytes": size, "reps": reps}
@@ -73,9 +75,10 @@ def _bench_gcm_open(mode: str) -> dict:
     from repro.crypto.aead import get_aead
 
     size, reps = _gcm_sizes(mode)
-    aead = get_aead(bytes(range(32)), "pure")
+    # Fixed key/nonce as in the seal bench: one message per pair.
+    aead = get_aead(bytes(range(32)), "pure")  # lint-ok: CRY003
     payload = bytes((7 * i + 13) & 0xFF for i in range(size))
-    nonce = bytes(12)
+    nonce = bytes(12)  # lint-ok: CRY001
     framed = aead.seal(nonce, payload)
     seconds = min(_timed(lambda: aead.open(nonce, framed)) for _ in range(reps))
     return {"seconds": seconds, "bytes": size, "reps": reps}

@@ -331,6 +331,7 @@ def run_campaign(
     cache_dir: str | None = None,
     write_artifacts: bool = True,
     write_manifest: bool = True,
+    sanitize: bool = False,
     on_start: Callable[[Experiment, int, int], None] | None = None,
     on_cell: Callable[[CellOutcome, int, int], None] | None = None,
 ) -> CampaignResult:
@@ -351,6 +352,15 @@ def run_campaign(
     selection order); *on_cell(outcome, done_count, total)* fires as
     cells finish (completion order — with ``jobs=1`` that is selection
     order).  Failures never raise; they surface as ``failed`` cells.
+
+    *sanitize* sets the process-wide sanitize default
+    (:func:`repro.analysis.sanitize.set_default_sanitize`) for the
+    duration of the executing phase, so every simulated job inside
+    every runner — including fork-pool workers, which inherit the flag
+    — runs with the runtime sanitizer armed.  Sanitizer failures
+    surface as failed cells like any other runner exception.  Note
+    that cache hits skip runners entirely and therefore skip the
+    sanitizer; pass ``cache=False`` for a full sanitized sweep.
     """
     t0 = time.perf_counter()
     if jobs < 1:
@@ -496,27 +506,38 @@ def run_campaign(
 
     # -- phase 2: execute the rest -----------------------------------------
     if pending:
-        if jobs == 1 or len(pending) == 1:
-            for i, exp in pending:
-                if on_start is not None:
-                    on_start(exp, i, total)
-                record(outcome_from_execution(exp, _execute_experiment(exp.id)))
-        else:
-            ctx = _fork_context()
-            nworkers = min(jobs, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=nworkers, mp_context=ctx
-            ) as pool:
-                futures = {}
+        from repro.analysis.sanitize import set_default_sanitize
+
+        # Set before any worker forks so children inherit the flag;
+        # restored afterwards so the flag never leaks past the campaign.
+        prev_sanitize = set_default_sanitize(sanitize)
+        try:
+            if jobs == 1 or len(pending) == 1:
                 for i, exp in pending:
                     if on_start is not None:
                         on_start(exp, i, total)
-                    futures[pool.submit(_execute_experiment, exp.id)] = exp
-                not_done = set(futures)
-                while not_done:
-                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        record(outcome_from_execution(futures[fut], fut.result()))
+                    record(outcome_from_execution(
+                        exp, _execute_experiment(exp.id)))
+            else:
+                ctx = _fork_context()
+                nworkers = min(jobs, len(pending))
+                with ProcessPoolExecutor(
+                    max_workers=nworkers, mp_context=ctx
+                ) as pool:
+                    futures = {}
+                    for i, exp in pending:
+                        if on_start is not None:
+                            on_start(exp, i, total)
+                        futures[pool.submit(_execute_experiment, exp.id)] = exp
+                    not_done = set(futures)
+                    while not_done:
+                        done, not_done = wait(
+                            not_done, return_when=FIRST_COMPLETED)
+                        for fut in done:
+                            record(outcome_from_execution(
+                                futures[fut], fut.result()))
+        finally:
+            set_default_sanitize(prev_sanitize)
 
     manifest_doc["finished"] = time.time()
     if manifest_path:

@@ -68,6 +68,7 @@ def _cmd_run(args) -> int:
         results_dir=out_dir,
         write_artifacts=bool(out_dir),
         write_manifest=False,
+        sanitize=args.sanitize,
         on_start=on_start,
         on_cell=on_cell,
     )
@@ -98,6 +99,7 @@ def _cmd_campaign(args) -> int:
         f"--- campaign: {len(exps)} cells, {args.jobs} worker(s), "
         f"cache {'on' if cache else 'off'}"
         + (", resume" if args.resume else "")
+        + (", sanitize" if args.sanitize else "")
         + f" -> {args.output} ---"
     )
 
@@ -123,6 +125,7 @@ def _cmd_campaign(args) -> int:
         cache=cache,
         resume=args.resume,
         results_dir=args.output,
+        sanitize=args.sanitize,
         on_cell=on_cell,
     )
     ok = len(result.cells) - len(result.failed)
@@ -288,6 +291,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print structured JSON to stdout instead of rendered text",
     )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the runtime sanitizer (repro.analysis.sanitize) in "
+        "every simulated job: deadlock diagnosis, leaked-request "
+        "tracking, nonce-reuse checks",
+    )
     run.set_defaults(func=_cmd_run)
     campaign = sub.add_parser(
         "campaign",
@@ -327,6 +337,12 @@ def main(argv: list[str] | None = None) -> int:
         "--expect-all-cached",
         action="store_true",
         help="exit 1 if any cell executed a runner (CI warm-cache check)",
+    )
+    campaign.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the runtime sanitizer in every executed cell (cache "
+        "hits skip it; combine with --no-cache for full coverage)",
     )
     campaign.set_defaults(func=_cmd_campaign)
     bench = sub.add_parser(

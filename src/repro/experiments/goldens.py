@@ -41,6 +41,10 @@ SCHEMA = 1
 #: repo-relative location of the committed fixture
 FIXTURE_PATH = "tests/goldens/golden_traces.json"
 
+#: tag of the encrypted pair exchange in :func:`enc_multipair_program`
+#: (pinned: it is part of the committed golden digests)
+TAG_PAIR = 3
+
 
 # ---------------------------------------------------------------------------
 # canonical workloads
@@ -89,8 +93,8 @@ def enc_multipair_program(size: int):
         enc = ctx.enc
         peer = (ctx.rank + ctx.size // 2) % ctx.size
         data = bytes(size)
-        rreq = enc.irecv(peer, tag=3)
-        sreq = enc.isend(data, peer, tag=3)
+        rreq = enc.irecv(peer, tag=TAG_PAIR)
+        sreq = enc.isend(data, peer, tag=TAG_PAIR)
         got = rreq.wait()
         sreq.wait()
         ctx.comm.barrier()

@@ -46,12 +46,16 @@ class Communicator:
     """Job-wide state: transport plus per-rank collective sequencing."""
 
     def __init__(self, scheduler: Scheduler, cluster: ClusterRuntime, trace=None,
-                 recorder=None):
+                 recorder=None, sanitizer=None):
         self.scheduler = scheduler
         self.cluster = cluster
         self.size = cluster.nranks
         self.comm_id = next(_comm_ids)
         self.recorder = recorder
+        #: repro.analysis.sanitize.Sanitizer when the job runs
+        #: sanitized; None (the common case) costs one attribute test
+        #: per posted operation
+        self.sanitizer = sanitizer
         self.transport = Transport(scheduler, cluster, trace, recorder)
         self._coll_seq = [0] * self.size
 
@@ -137,6 +141,11 @@ class CommHandle:
             payload_bytes=payload_bytes,
         )
         req = Request(self._comm.scheduler, "send")
+        san = self._comm.sanitizer
+        if san is not None:
+            san.note_post(req, kind="send", rank=env.src, peer=env.dst,
+                          tag=tag, nbytes=len(payload),
+                          now=self._comm.scheduler.now)
         self._comm.transport.isend(env, lambda: req.complete(None))
         return req
 
@@ -193,6 +202,11 @@ class CommHandle:
         match_source = (
             source if source == ANY_SOURCE else self._global_rank(source)
         )
+        san = self._comm.sanitizer
+        if san is not None:
+            san.note_post(req, kind="recv", rank=my_global,
+                          peer=match_source, tag=tag, nbytes=0,
+                          now=sched.now)
         self._comm.transport.engines[self._global_rank(self.rank)].post_recv(
             match_source, tag, self._comm_id, on_match
         )

@@ -27,6 +27,11 @@ class Request:
     non-blocking property.
     """
 
+    #: sanitizer bookkeeping (a repro.analysis.sanitize.PendingOp);
+    #: stays None — a class attribute, zero per-request cost — unless
+    #: the job runs sanitized
+    _san_op = None
+
     def __init__(self, scheduler: Scheduler, kind: str):
         if kind not in ("send", "recv"):
             raise ValueError(f"bad request kind {kind!r}")
@@ -62,6 +67,8 @@ class Request:
     def wait(self) -> Any:
         """Block until complete; idempotent like MPI_Wait on a request."""
         value = self._event.wait()
+        if self._san_op is not None:
+            self._san_op.mark_waited()
         if not self._waited:
             self._waited = True
             if self._postprocess is not None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.des.engine import DeadlockError
 from repro.des.process import Scheduler
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
 from repro.models.network import NetworkModel, get_network
@@ -23,7 +24,7 @@ class RankContext:
     """Everything one rank's program sees."""
 
     def __init__(self, comm: CommHandle, scheduler: Scheduler,
-                 cluster: ClusterRuntime, recorder=None):
+                 cluster: ClusterRuntime, recorder=None, sanitizer=None):
         self.comm = comm
         self._scheduler = scheduler
         self._cluster = cluster
@@ -33,6 +34,9 @@ class RankContext:
         #: TraceRecorder for structured tracing (None unless the job ran
         #: with trace="events" or an explicit recorder)
         self.recorder = recorder
+        #: repro.analysis.sanitize.Sanitizer when the job runs with
+        #: sanitize=True (None otherwise)
+        self.sanitizer = sanitizer
 
     @property
     def rank(self) -> int:
@@ -87,6 +91,10 @@ class SimResult:
     spans: list[tuple[float, float]] = field(default_factory=list)
     #: populated when run_program(trace=True)
     trace: Any = None
+    #: a repro.analysis.sanitize.SanitizerReport when the job ran with
+    #: sanitize=True (the run raises SanitizerError instead of
+    #: returning when the report has leaks)
+    sanitizer: Any = None
 
 
 def run_program(
@@ -98,6 +106,7 @@ def run_program(
     placement: str = "block",
     trace: TraceMode = False,
     fault_injector=None,
+    sanitize: bool | None = None,
 ) -> SimResult:
     """Run *program* on *nranks* simulated ranks; returns a SimResult.
 
@@ -113,7 +122,22 @@ def run_program(
     aggregate view).  ``fault_injector`` (a
     :class:`repro.simmpi.faults.FaultInjector`) lets an adversary
     tamper with deliveries.
+
+    ``sanitize`` arms the runtime sanitizer
+    (:mod:`repro.analysis.sanitize`): deadlocks get a wait-for-cycle
+    diagnosis (:class:`~repro.analysis.sanitize.DeadlockDiagnosis`),
+    leaked requests fail the job
+    (:class:`~repro.analysis.sanitize.SanitizerError`), and AEAD nonce
+    reuse raises regardless of backend.  ``None`` (the default) defers
+    to the process-wide default set by campaign ``--sanitize``.
+    Sanitizing never changes virtual timing or results.
     """
+    from repro.analysis.sanitize import (
+        Sanitizer,
+        SanitizerError,
+        resolve_sanitize,
+    )
+
     net = get_network(network) if isinstance(network, str) else network
     scheduler = Scheduler()
     runtime = ClusterRuntime(scheduler, cluster, net, nranks, placement)
@@ -122,7 +146,12 @@ def run_program(
         recorder.attach(scheduler)
         recorder.emit("engine", "job_start", -1, nranks=nranks,
                       network=net.name, placement=placement)
-    communicator = Communicator(scheduler, runtime, comm_trace, recorder)
+    sanitizer = None
+    if resolve_sanitize(sanitize):
+        sanitizer = Sanitizer(nranks,
+                              fault_injection=fault_injector is not None)
+    communicator = Communicator(scheduler, runtime, comm_trace, recorder,
+                                sanitizer)
     communicator.transport.fault_injector = fault_injector
 
     results: list[Any] = [None] * nranks
@@ -136,7 +165,7 @@ def run_program(
             recorder.emit("engine", "proc_start", rank,
                           node=runtime.node_of(rank).index)
         ctx = RankContext(communicator.handle(rank), scheduler, runtime,
-                          recorder)
+                          recorder, sanitizer)
         try:
             results[rank] = program(ctx)
         finally:
@@ -147,10 +176,21 @@ def run_program(
 
     for r in range(nranks):
         scheduler.spawn(rank_main, r, name=f"rank{r}")
-    duration = scheduler.run()
+    try:
+        duration = scheduler.run()
+    except DeadlockError as err:
+        if sanitizer is not None:
+            raise sanitizer.diagnose(scheduler) from err
+        raise
     if recorder is not None:
         recorder.emit("engine", "job_end", -1, duration=duration)
+    report = None
+    if sanitizer is not None:
+        report = sanitizer.finalize(communicator.transport.engines)
+        if not report.ok:
+            raise SanitizerError(report)
     return SimResult(
         results=results, duration=duration, spans=spans,
         trace=recorder if recorder is not None else comm_trace,
+        sanitizer=report,
     )

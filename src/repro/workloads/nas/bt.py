@@ -28,6 +28,8 @@ ITERS = 200
 SOLVE_DOUBLES_PER_POINT = 30
 #: doubles per boundary point in copy_faces: 5 vars, 2-deep ghost
 FACE_DOUBLES_PER_POINT = 10
+TAG_COPY_FACES = 41  # + axis (occupies 41..42)
+TAG_SOLVE_BASE = 43  # + 2*direction + phase (occupies 43..48)
 
 
 def _skeleton(comm: NasComm, _iteration: int) -> None:
@@ -50,7 +52,8 @@ def _skeleton(comm: NasComm, _iteration: int) -> None:
                 src = rank2d(i - delta, j, rows, cols)
             if dst == comm.rank:
                 continue
-            comm.sendrecv(b"\x00" * (face * cells), dst, src, tag=41 + axis)
+            comm.sendrecv(b"\x00" * (face * cells), dst, src,
+                          tag=TAG_COPY_FACES + axis)
 
     # x / y / z line solves: forward elimination then back substitution,
     # each pipelining a stage message per owned cell.
@@ -58,7 +61,7 @@ def _skeleton(comm: NasComm, _iteration: int) -> None:
     for direction in range(3):
         horizontal = direction != 1
         for phase in range(2):  # forward, backward
-            tag = 43 + 2 * direction + phase
+            tag = TAG_SOLVE_BASE + 2 * direction + phase
             sweep = 1 if phase == 0 else -1
             for _cell in range(cells):
                 if horizontal:

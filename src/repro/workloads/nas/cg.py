@@ -20,6 +20,8 @@ N = 150_000
 OUTER_ITERS = 75
 INNER_ITERS = 26  # 25 CG steps + the extra residual matvec
 DOUBLE = 8
+TAG_ROW_REDUCE = 11
+TAG_TRANSPOSE = 12
 
 
 def _skeleton(comm: NasComm, _iteration: int) -> None:
@@ -39,7 +41,7 @@ def _skeleton(comm: NasComm, _iteration: int) -> None:
         payload = b"\x00" * max(seg_doubles * DOUBLE, DOUBLE)
         while stage < cols:
             partner = rank2d(i, j ^ stage, rows, cols)
-            comm.sendrecv(payload, partner, partner, tag=11)
+            comm.sendrecv(payload, partner, partner, tag=TAG_ROW_REDUCE)
             stage <<= 1
         # Transpose exchange of the row-reduced vector segment.  NAS CG
         # pairs rank (i, j) with (j, i) — an involution only on square
@@ -54,7 +56,8 @@ def _skeleton(comm: NasComm, _iteration: int) -> None:
             tpartner = rank2d(i, (j + cols // 2) % cols, rows, cols)
         if tpartner is not None and tpartner != comm.rank:
             chunk = max(seg_doubles * DOUBLE, DOUBLE)
-            comm.sendrecv(b"\x00" * chunk, tpartner, tpartner, tag=12)
+            comm.sendrecv(b"\x00" * chunk, tpartner, tpartner,
+                          tag=TAG_TRANSPOSE)
         # Two dot products per CG step, folded into one 16-byte allreduce.
         comm.allreduce_bytes(2 * DOUBLE)
 

@@ -19,6 +19,8 @@ DOUBLE = 8
 VARS = 5
 ITERS = 250
 K_BLOCK = 16  # k-planes batched per pipeline message
+TAG_SWEEP_BASE = 31  # + sweep index (occupies 31..32)
+TAG_EXCHANGE3 = 33
 #: SSOR compute per k-block (lower+upper triangular solves of the local
 #: 21x21 columns).  Charged inside the skeleton because the wavefront's
 #: timing is *paced* by it: without per-block work the simulated
@@ -44,7 +46,7 @@ def _skeleton(comm: NasComm, _iteration: int) -> None:
     for sweep_tag, (recv_a, recv_b, send_a, send_b) in enumerate(
         ((north, west, south, east), (south, east, north, west))
     ):
-        tag = 31 + sweep_tag
+        tag = TAG_SWEEP_BASE + sweep_tag
         for _blk in range(nblocks):
             if recv_a is not None:
                 comm.recv(recv_a, tag)
@@ -62,11 +64,11 @@ def _skeleton(comm: NasComm, _iteration: int) -> None:
         if dst is None and src is None:
             continue
         if dst is not None and src is not None:
-            comm.sendrecv(b"\x00" * face, dst, src, tag=33)
+            comm.sendrecv(b"\x00" * face, dst, src, tag=TAG_EXCHANGE3)
         elif dst is not None:
-            comm.send(b"\x00" * face, dst, tag=33)
+            comm.send(b"\x00" * face, dst, tag=TAG_EXCHANGE3)
         else:
-            comm.recv(src, tag=33)
+            comm.recv(src, tag=TAG_EXCHANGE3)
     comm.allreduce_bytes(VARS * DOUBLE)  # residual norms
 
 

@@ -17,6 +17,7 @@ ITERS = 20
 #: halo-exchange sets per level per V-cycle: smoothing on the way down,
 #: residual restriction, prolongation + smoothing on the way up.
 SMOOTHS_PER_LEVEL = 4
+TAG_HALO = 21  # + dimension (occupies 21..23)
 
 
 def _skeleton(comm: NasComm, _iteration: int) -> None:
@@ -46,7 +47,8 @@ def _skeleton(comm: NasComm, _iteration: int) -> None:
                         src = rank3d(x, y, z + d_src, nx, ny, nz)
                     if dst == comm.rank:
                         continue
-                    comm.sendrecv(b"\x00" * face_bytes, dst, src, tag=21 + dim)
+                    comm.sendrecv(b"\x00" * face_bytes, dst, src,
+                                  tag=TAG_HALO + dim)
         level_face //= 2
     comm.allreduce_bytes(DOUBLE)  # residual norm
 

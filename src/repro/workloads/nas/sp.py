@@ -17,6 +17,8 @@ DOUBLE = 8
 ITERS = 400
 SOLVE_DOUBLES_PER_POINT = 10
 FACE_DOUBLES_PER_POINT = 10
+TAG_COPY_FACES = 51  # + axis (occupies 51..52)
+TAG_SOLVE_BASE = 53  # + 2*direction + phase (occupies 53..58)
 
 
 def _skeleton(comm: NasComm, _iteration: int) -> None:
@@ -38,13 +40,14 @@ def _skeleton(comm: NasComm, _iteration: int) -> None:
                 src = rank2d(i - delta, j, rows, cols)
             if dst == comm.rank:
                 continue
-            comm.sendrecv(b"\x00" * (face * cells), dst, src, tag=51 + axis)
+            comm.sendrecv(b"\x00" * (face * cells), dst, src,
+                          tag=TAG_COPY_FACES + axis)
 
     plane = face_points * SOLVE_DOUBLES_PER_POINT * DOUBLE
     for direction in range(3):
         horizontal = direction != 1
         for phase in range(2):
-            tag = 53 + 2 * direction + phase
+            tag = TAG_SOLVE_BASE + 2 * direction + phase
             sweep = 1 if phase == 0 else -1
             for _cell in range(cells):
                 if horizontal:

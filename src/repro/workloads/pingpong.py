@@ -21,6 +21,9 @@ PINGPONG_CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)
 #: round trips (after one warmup) give identical means.
 DEFAULT_ITERS = 4
 
+#: single tag of the ping-pong exchange (one channel, both directions)
+TAG_PINGPONG = 0
+
 
 def pingpong_oneway_time(
     size: int,
@@ -42,10 +45,10 @@ def pingpong_oneway_time(
             comm = ctx.comm
 
             def send(d, p):  # (dest, payload)
-                comm.send(p, d, tag=0)
+                comm.send(p, d, tag=TAG_PINGPONG)
 
             def recv(s):
-                return comm.recv(s, 0)[0]
+                return comm.recv(s, TAG_PINGPONG)[0]
 
         else:
             enc = EncryptedComm(
@@ -56,10 +59,10 @@ def pingpong_oneway_time(
             )
 
             def send(d, p):
-                enc.send(p, d, tag=0)
+                enc.send(p, d, tag=TAG_PINGPONG)
 
             def recv(s):
-                return enc.recv(s, 0)[0]
+                return enc.recv(s, TAG_PINGPONG)[0]
 
         if ctx.rank == 0:
             # one warmup round trip (excluded)

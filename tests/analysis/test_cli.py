@@ -1,0 +1,89 @@
+"""The ``python -m repro.analysis`` command line."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+BAD = """\
+import time
+
+
+def step(ctx):
+    ctx.comm.send(b"x", 1, 42)
+    return time.time()
+"""
+
+CLEAN = """\
+TAG_DATA = 7
+
+
+def step(ctx):
+    ctx.comm.send(b"x", 1, TAG_DATA)
+    return ctx.now
+"""
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    (tmp_path / "bad.py").write_text(BAD)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+def test_clean_file_exits_zero(tree, capsys):
+    assert main(["lint", str(tree / "clean.py")]) == 0
+    assert "clean: no findings" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_summary(tree, capsys):
+    assert main(["lint", str(tree / "bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "MPI002" in out and "DET001" in out
+    assert "2 finding(s): 1 error(s), 1 warning(s)" in out
+
+
+def test_directory_walk_is_sorted(tree, capsys):
+    (tree / "zbad.py").write_text(BAD)
+    assert main(["lint", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert out.index("bad.py") < out.index("zbad.py")
+    assert "clean.py" not in out
+
+
+def test_json_output_is_machine_readable(tree, capsys):
+    assert main(["lint", "--json", str(tree / "bad.py")]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert sorted(f["rule"] for f in doc["findings"]) == ["DET001", "MPI002"]
+    assert doc["counts"] == {"error": 1, "warning": 1}
+    for f in doc["findings"]:
+        assert {"rule", "severity", "path", "line", "col",
+                "message"} <= set(f)
+
+
+def test_select_filters_rules(tree, capsys):
+    assert main(["lint", "--select", "DET001", str(tree / "bad.py")]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out and "MPI002" not in out
+
+
+def test_select_unknown_rule_is_usage_error(tree, capsys):
+    assert main(["lint", "--select", "NOPE01", str(tree)]) == 2
+    assert "NOPE01" in capsys.readouterr().err
+
+
+def test_rules_subcommand_lists_catalog(capsys):
+    assert main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("MPI001", "MPI002", "MPI003", "MPI004", "DET001",
+                    "DET002", "DET003", "CRY001", "CRY002", "CRY003"):
+        assert rule_id in out
+
+
+def test_rules_json(capsys):
+    assert main(["rules", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert {r["id"] for r in doc["rules"]} >= {"MPI001", "CRY003"}
+    for r in doc["rules"]:
+        assert r["summary"] and r["severity"] in ("error", "warning")

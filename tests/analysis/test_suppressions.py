@@ -1,0 +1,96 @@
+"""The ``# lint-ok`` suppression grammar."""
+
+import textwrap
+
+from repro.analysis import lint_source
+
+
+def ids(source: str) -> list[str]:
+    return [f.rule for f in lint_source(textwrap.dedent(source), "<fx>")]
+
+
+BASE = """
+    def step(ctx):
+        ctx.comm.send(b"x", 1, 42)
+"""
+
+
+def test_unsuppressed_baseline_fires():
+    assert ids(BASE) == ["MPI002"]
+
+
+def test_same_line_suppression():
+    assert ids("""
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)  # lint-ok: MPI002
+    """) == []
+
+
+def test_preceding_comment_line_suppression():
+    assert ids("""
+        def step(ctx):
+            # lint-ok: MPI002
+            ctx.comm.send(b"x", 1, 42)
+    """) == []
+
+
+def test_bare_lint_ok_suppresses_everything_on_the_line():
+    assert ids("""
+        import random
+
+        def step(ctx):
+            ctx.comm.send(b"x", 1, random.randint(0, 42))  # lint-ok
+    """) == []
+
+
+def test_multiple_ids_comma_separated():
+    assert ids("""
+        import random
+
+        def step(ctx):
+            # lint-ok: MPI002, DET002
+            ctx.comm.send(b"x", 1, random.randint(0, 42))
+    """) == []
+
+
+def test_wrong_id_does_not_suppress():
+    assert ids("""
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)  # lint-ok: DET001
+    """) == ["MPI002"]
+
+
+def test_file_level_suppression():
+    assert ids("""
+        # lint-ok-file: MPI002
+
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)
+            ctx.comm.send(b"y", 1, 43)
+    """) == []
+
+
+def test_file_level_only_covers_named_ids():
+    assert ids("""
+        # lint-ok-file: MPI002
+        import time
+
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)
+            return time.time()
+    """) == ["DET001"]
+
+
+def test_trailing_justification_after_dash():
+    assert ids("""
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)  # lint-ok: MPI002 — probe channel
+    """) == []
+
+
+def test_suppression_does_not_leak_to_other_lines():
+    assert ids("""
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)  # lint-ok: MPI002
+            ctx.comm.send(b"y", 1, 43)
+    """) == ["MPI002"]

@@ -1,0 +1,46 @@
+"""NonceLedger / NonceGuardedAEAD: the standalone nonce-reuse guard."""
+
+import pytest
+
+from repro.crypto.aead import NonceGuardedAEAD, NonceLedger, get_aead
+from repro.crypto.errors import NonceReuseError
+
+KEY = bytes(range(32))
+
+
+def test_ledger_accepts_fresh_and_rejects_repeat():
+    ledger = NonceLedger()
+    ledger.check(b"\x00" * 12)
+    ledger.check(b"\x01" * 12)
+    assert len(ledger) == 2
+    with pytest.raises(NonceReuseError):
+        ledger.check(b"\x00" * 12)
+
+
+def test_ledger_normalizes_bytes_like():
+    ledger = NonceLedger()
+    ledger.check(bytearray(12))
+    with pytest.raises(NonceReuseError):
+        ledger.check(bytes(12))
+
+
+def test_guarded_aead_round_trips():
+    aead = NonceGuardedAEAD(get_aead(KEY, "pure"))
+    assert aead.name == "guarded:pure"
+    sealed = aead.seal(b"\x07" * 12, b"payload", b"aad")
+    assert aead.open(b"\x07" * 12, sealed, b"aad") == b"payload"
+
+
+def test_guarded_aead_refuses_second_seal_under_one_nonce():
+    aead = NonceGuardedAEAD(get_aead(KEY, "pure"))
+    aead.seal(b"\x07" * 12, b"first")
+    with pytest.raises(NonceReuseError):
+        aead.seal(b"\x07" * 12, b"second")
+
+
+def test_guarded_aead_open_is_unrestricted():
+    # decrypting the same message twice is legitimate
+    aead = NonceGuardedAEAD(get_aead(KEY, "pure"))
+    sealed = aead.seal(b"\x07" * 12, b"payload")
+    assert aead.open(b"\x07" * 12, sealed) == b"payload"
+    assert aead.open(b"\x07" * 12, sealed) == b"payload"
