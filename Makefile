@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install check lint check-sanitize test test-fast test-all \
+.PHONY: install check lint check-sanitize check-resilience \
+	test test-fast test-all \
 	bench bench-baseline bench-pytest \
 	trace-goldens check-tracing-overhead \
 	campaign-fast check-campaign-cache \
@@ -10,8 +11,10 @@ PYTHON ?= python
 
 # The default verification flow: static misuse analysis, unit tests,
 # a parallel fast-tier campaign, the warm-cache invariant (second run
-# executes zero runners), and a sanitized re-run of the fast tier.
-check: lint test campaign-fast check-campaign-cache check-sanitize
+# executes zero runners), a sanitized re-run of the fast tier, and the
+# fault-sweep determinism invariant.
+check: lint test campaign-fast check-campaign-cache check-sanitize \
+	check-resilience
 
 # Static misuse analysis (MPI protocol, determinism, crypto) over the
 # tree the repo promises to keep clean; exits nonzero on any finding.
@@ -29,6 +32,17 @@ lint:
 check-sanitize:
 	$(PYTHON) -m repro.experiments campaign fast -j 4 --no-cache \
 		--sanitize --output results/sanitize
+
+# Fault-sweep determinism: the resilience experiment (seeded FaultPlan
+# x backoff policy over the reliable encrypted ping-pong) run twice must
+# produce byte-identical artifacts — retransmission timing, backoff, and
+# fault sequences are all virtual-time deterministic.
+check-resilience:
+	rm -rf results/resilience-a results/resilience-b
+	$(PYTHON) -m repro.experiments run resilience --output results/resilience-a
+	$(PYTHON) -m repro.experiments run resilience --output results/resilience-b
+	diff -r results/resilience-a results/resilience-b
+	@echo "check-resilience: two seeded fault sweeps byte-identical"
 
 install:
 	$(PYTHON) setup.py develop

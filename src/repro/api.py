@@ -29,6 +29,7 @@ Design rules of the facade:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, Union
 
@@ -40,7 +41,11 @@ from repro.experiments.registry import (
 )
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
 from repro.models.network import NetworkModel
-from repro.simmpi.faults import FaultInjector
+from repro.simmpi.faults import FaultInjector, FaultPlan
+from repro.simmpi.resilience import (
+    ResiliencePolicy,
+    ResilienceReport,
+)
 from repro.simmpi.tracing import (
     CommTrace,
     TraceMode,
@@ -56,8 +61,12 @@ __all__ = [
     "ClusterSpec",
     "Experiment",
     "FaultInjector",
+    "FaultPlan",
     "JobResult",
     "PAPER_CLUSTER",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "RunOptions",
     "SecurityConfig",
     "SweepPoint",
     "TraceMode",
@@ -70,9 +79,104 @@ __all__ = [
     "sweep",
 ]
 
-#: a fault injector argument: one instance (single jobs only) or a
+#: a fault argument: the declarative :class:`FaultPlan` (preferred —
+#: resolved into a fresh injector per job/cell), a raw
+#: :class:`FaultInjector` instance (deprecated; single jobs only), or a
 #: zero-argument factory producing a fresh injector per sweep cell
-FaultSpec = Union[FaultInjector, Callable[[], FaultInjector], None]
+FaultSpec = Union[FaultPlan, FaultInjector, Callable[[], FaultInjector], None]
+
+#: deprecated spellings already warned about this process (the PR-1
+#: shim style: one DeprecationWarning per name, then silence)
+_warned: set[str] = set()
+
+
+def _warn_once(name: str, message: str) -> None:
+    if name in _warned:
+        return
+    _warned.add(name)
+    warnings.warn(message, DeprecationWarning, stacklevel=4)
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Typed bundle of the cross-cutting ``run_job``/``sweep`` keywords.
+
+    The keyword tail these functions accumulated (``trace``, faults,
+    ``sanitize``, ``resilience``) folds into one frozen value passed as
+    ``options=``; the individual keywords keep working and are
+    equivalent byte-for-byte (pinned by ``tests/api/test_run_options.py``).
+    Passing both ``options=`` and an individual keyword raises.
+    """
+
+    trace: TraceMode = False
+    faults: FaultSpec = None
+    sanitize: bool | None = None
+    resilience: ResiliencePolicy | None = None
+
+    def __post_init__(self) -> None:
+        # normalize the trace mode up front so equality between an
+        # options bundle and the loose-kwargs spelling is structural
+        object.__setattr__(self, "trace", parse_trace_mode(self.trace))
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResiliencePolicy
+        ):
+            raise TypeError(
+                f"resilience must be a ResiliencePolicy or None, "
+                f"got {self.resilience!r}"
+            )
+
+
+def _resolve_options(
+    options: RunOptions | None,
+    trace: TraceMode,
+    faults: FaultSpec,
+    fault_injector: FaultSpec,
+    sanitize: bool | None,
+    resilience: ResiliencePolicy | None,
+) -> RunOptions:
+    """One RunOptions from the loose kwargs and/or the bundle."""
+    if fault_injector is not None:
+        _warn_once(
+            "fault_injector",
+            "fault_injector= is deprecated; declare a frozen "
+            "FaultPlan and pass it as faults= (or inside "
+            "options=RunOptions(faults=...))",
+        )
+        if faults is not None:
+            raise TypeError("pass faults= or fault_injector=, not both")
+        faults = fault_injector
+    if faults is not None and not isinstance(faults, FaultPlan):
+        _warn_once(
+            "raw-fault-injector",
+            "raw FaultInjector instances/factories are deprecated; "
+            "declare a frozen FaultPlan (rates, seed, filters) instead",
+        )
+    if options is not None:
+        if not isinstance(options, RunOptions):
+            raise TypeError(f"options must be a RunOptions, got {options!r}")
+        if (
+            trace is not False
+            or faults is not None
+            or sanitize is not None
+            or resilience is not None
+        ):
+            raise TypeError(
+                "pass the run options either individually (trace=, "
+                "faults=, sanitize=, resilience=) or bundled via "
+                "options=RunOptions(...), not both"
+            )
+        return options
+    return RunOptions(trace=trace, faults=faults, sanitize=sanitize,
+                      resilience=resilience)
+
+
+def _fresh_injector(faults: FaultSpec) -> FaultInjector | None:
+    """Resolve a fault spec into the injector for one job/cell."""
+    if faults is None or isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        return faults.build()
+    return faults()
 
 
 @dataclass(frozen=True)
@@ -100,6 +204,9 @@ class JobResult:
     #: raises :class:`repro.analysis.sanitize.SanitizerError` instead
     #: of returning
     sanitizer: Any = None
+    #: a :class:`repro.simmpi.resilience.ResilienceReport` when the job
+    #: ran with a :class:`ResiliencePolicy` armed (None otherwise)
+    resilience: ResilienceReport | None = None
 
 
 @dataclass(frozen=True)
@@ -129,8 +236,11 @@ def run_job(
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
     trace: TraceMode = False,
-    fault_injector: FaultInjector | None = None,
+    faults: FaultSpec = None,
+    fault_injector: FaultSpec = None,
     sanitize: bool | None = None,
+    resilience: ResiliencePolicy | None = None,
+    options: RunOptions | None = None,
 ) -> JobResult:
     """Run *workload* on *nranks* simulated ranks; the facade's mpiexec.
 
@@ -154,8 +264,22 @@ def run_job(
     wait-for cycle, leaked-request tracking at job end, and nonce-reuse
     checking on every AEAD seal.  The report rides on
     ``JobResult.sanitizer``; virtual timing is unaffected.
+
+    *faults* takes a declarative :class:`FaultPlan` (preferred; a fresh
+    seeded injector is built per job) or — deprecated, with a one-shot
+    ``DeprecationWarning`` — a raw :class:`FaultInjector`.  The old
+    *fault_injector* keyword keeps working the same way.  *resilience*
+    arms the reliable-delivery layer
+    (:class:`repro.simmpi.resilience.ResiliencePolicy`): retransmission
+    timers, NACK + fresh-nonce retransmission of auth failures, and
+    policy-driven escalation; the job-wide
+    :class:`~repro.simmpi.resilience.ResilienceReport` rides on
+    ``JobResult.resilience``.  *options* bundles trace/faults/sanitize/
+    resilience as one :class:`RunOptions` (equivalent byte-for-byte).
     """
-    trace = parse_trace_mode(trace)
+    opts = _resolve_options(options, trace, faults, fault_injector,
+                            sanitize, resilience)
+    trace = opts.trace
     if security is None:
         program = workload
     else:
@@ -172,8 +296,9 @@ def run_job(
         cluster=cluster,
         placement=placement,
         trace=trace,
-        fault_injector=fault_injector,
-        sanitize=sanitize,
+        fault_injector=_fresh_injector(opts.faults),
+        sanitize=opts.sanitize,
+        resilience=opts.resilience,
     )
     return JobResult(
         results=sim.results,
@@ -183,6 +308,7 @@ def run_job(
         security=security,
         network=_network_name(network),
         sanitizer=sim.sanitizer,
+        resilience=sim.resilience,
     )
 
 
@@ -195,9 +321,12 @@ def sweep(
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
     trace: TraceMode = False,
+    faults: FaultSpec = None,
     fault_injector: FaultSpec = None,
     parallel: int = 1,
     sanitize: bool | None = None,
+    resilience: ResiliencePolicy | None = None,
+    options: RunOptions | None = None,
 ) -> list[SweepPoint]:
     """Run *workload* across the (network × security) grid.
 
@@ -207,11 +336,13 @@ def sweep(
     passing one TraceRecorder instance across cells raises — each job
     needs its own recorder, so use ``trace="events"`` for sweeps.
 
-    *fault_injector* follows the same per-cell rule: a single
-    :class:`FaultInjector` instance is only accepted for a one-cell
-    grid (its policy state and ledger are per-job); for larger grids
-    pass a zero-argument factory — e.g. ``lambda:
-    FaultInjector(corrupt_every_nth(2))`` — invoked once per cell.
+    *faults* follows a per-cell rule: a :class:`FaultPlan` (preferred)
+    is resolved into a fresh seeded injector for every cell; a single
+    raw :class:`FaultInjector` instance (deprecated) is only accepted
+    for a one-cell grid (its policy state and ledger are per-job); for
+    larger grids pass a plan or a zero-argument factory — e.g.
+    ``lambda: FaultInjector(corrupt_every_nth(2))`` — invoked once per
+    cell.  *resilience* and *options* work as in :func:`run_job`.
 
     *parallel* > 1 routes the grid cells through the campaign
     executor's fork pool (:func:`repro.experiments.campaign.run_tasks`):
@@ -219,7 +350,10 @@ def sweep(
     still in grid order, byte-identical to a serial sweep.  On
     platforms without ``fork`` the sweep silently degrades to serial.
     """
-    trace = parse_trace_mode(trace)
+    opts = _resolve_options(options, trace, faults, fault_injector,
+                            sanitize, resilience)
+    trace = opts.trace
+    faults = opts.faults
     securities = tuple(securities)
     networks = tuple(networks)
     ncells = len(networks) * len(securities)
@@ -229,29 +363,25 @@ def sweep(
             "use a fresh recorder per run (trace='events' gives each "
             "cell its own)"
         )
-    if isinstance(fault_injector, FaultInjector) and ncells > 1:
+    if isinstance(faults, FaultInjector) and ncells > 1:
         raise ValueError(
             "one FaultInjector instance cannot be shared across sweep "
             "cells (its policy state and ledger are per-job); pass a "
-            "zero-argument factory, e.g. fault_injector=lambda: "
-            "FaultInjector(policy)"
+            "FaultPlan, or a zero-argument factory, e.g. "
+            "fault_injector=lambda: FaultInjector(policy)"
         )
     if (
-        fault_injector is not None
-        and not isinstance(fault_injector, FaultInjector)
-        and not callable(fault_injector)
+        faults is not None
+        and not isinstance(faults, (FaultPlan, FaultInjector))
+        and not callable(faults)
     ):
         raise TypeError(
-            "fault_injector must be a FaultInjector, a zero-argument "
-            f"factory, or None, got {fault_injector!r}"
+            "faults/fault_injector must be a FaultPlan, a FaultInjector, "
+            f"a zero-argument factory, or None, got {faults!r}"
         )
 
     def make_task(net, sec):
         def task() -> JobResult:
-            if fault_injector is None or isinstance(fault_injector, FaultInjector):
-                injector = fault_injector
-            else:
-                injector = fault_injector()
             return run_job(
                 workload,
                 nranks=nranks,
@@ -259,9 +389,12 @@ def sweep(
                 network=net,
                 cluster=cluster,
                 placement=placement,
-                trace=trace,
-                fault_injector=injector,
-                sanitize=sanitize,
+                options=RunOptions(
+                    trace=trace,
+                    faults=_fresh_injector(faults),
+                    sanitize=opts.sanitize,
+                    resilience=opts.resilience,
+                ),
             )
 
         return task

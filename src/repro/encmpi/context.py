@@ -17,6 +17,7 @@ from repro.crypto.errors import AuthenticationError
 from repro.crypto.nonces import make_nonce_source
 from repro.encmpi.config import SecurityConfig
 from repro.encmpi.replay import ReplayError, ReplayGuard, counter_of_nonce
+from repro.simmpi.resilience import ResilienceExhausted
 from repro.models.cryptolib import CryptoLibraryProfile, profile_for_network
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, OpaquePayload
 from repro.simmpi.request import Request
@@ -29,12 +30,24 @@ class EncryptedRequest:
     This mirrors the paper's Encrypted_IRecv/MPI_Wait split: the
     non-blocking call returns immediately and the cryptographic work is
     deferred to the wait, keeping the non-blocking property.
+
+    When the job runs with a :class:`ResiliencePolicy` armed, a receive
+    whose frame fails authentication (or is rejected by the replay
+    guard) does not raise immediately: the failure is reported to the
+    :class:`~repro.simmpi.resilience.ReliabilityManager` as a NACK, and
+    the wait re-posts a receive pinned to the retransmitted copy —
+    which the sender re-seals with a fresh nonce — until the retry
+    budget is exhausted and the policy escalates.
     """
 
-    def __init__(self, inner: Request, owner: "EncryptedComm", kind: str):
+    def __init__(self, inner: Request, owner: "EncryptedComm", kind: str,
+                 source: int | None = None, tag: int | None = None):
         self._inner = inner
         self._owner = owner
         self.kind = kind
+        # requested (source, tag) — needed to re-post under resilience
+        self._source = source
+        self._tag = tag
         self._result: bytes | None = None
         self._waited = False
 
@@ -47,19 +60,51 @@ class EncryptedRequest:
         return self._inner.status
 
     def wait(self) -> bytes | None:
-        value = self._inner.wait()
         if self.kind == "send":
+            self._inner.wait()
             return None
-        if not self._waited:
-            self._waited = True
+        if self._waited:
+            return self._result
+        self._waited = True
+        owner = self._owner
+        value = self._inner.wait()
+        attempts = 0
+        while True:
             status = self._inner.status
             aad = b""
-            if status is not None and self._owner.config.bind_header:
-                aad = self._owner._aad_for_peer(status.source, status.tag)
-            if status is not None:
-                self._owner._replay_check(status.source, value)
-            self._result = self._owner._decrypt_charged(value, aad)
-        return self._result
+            if status is not None and owner.config.bind_header:
+                aad = owner._aad_for_peer(status.source, status.tag)
+            try:
+                if status is not None:
+                    owner._replay_check(status.source, value)
+                self._result = owner._decrypt_charged(value, aad)
+                return self._result
+            except (AuthenticationError, ReplayError) as exc:
+                mgr = owner._resilience
+                if mgr is None:
+                    raise
+                attempts += 1
+                env = getattr(self._inner, "_match_env", None)
+                decision = mgr.on_recv_failure(
+                    env, owner.rank, attempts,
+                    reason="replay" if isinstance(exc, ReplayError)
+                    else "auth_fail",
+                )
+                if decision.outcome == "fail":
+                    src = env.src if env is not None else "?"
+                    raise ResilienceExhausted(
+                        f"rank {owner.rank}: message from {src} still "
+                        f"failing after {attempts} receive attempts "
+                        f"(escalation='fail')"
+                    ) from exc
+                if decision.outcome == "drop":
+                    raise
+                self._inner = owner.ctx.comm.irecv(
+                    self._source if self._source is not None else ANY_SOURCE,
+                    self._tag if self._tag is not None else ANY_TAG,
+                    _require_id=decision.require_id,
+                )
+                value = self._inner.wait()
 
 
 class EncryptedComm:
@@ -88,6 +133,10 @@ class EncryptedComm:
         #: every seal's (key, nonce) pair is checked for reuse, even in
         #: modeled mode where no real AEAD call happens
         self._san = getattr(ctx, "sanitizer", None)
+        #: job reliability manager (repro.simmpi.resilience) — when set,
+        #: point-to-point sends register a fresh-nonce reseal closure
+        #: and failed receives NACK into retransmissions
+        self._resilience = getattr(ctx, "resilience", None)
         #: per-source anti-replay windows (populated lazily when
         #: config.replay_window > 0)
         self._replay_guards: dict[int, ReplayGuard] = {}
@@ -198,6 +247,38 @@ class EncryptedComm:
                 rec.rank_counters(self.rank).replay_drops += 1
             raise
 
+    def _make_reseal(self, plaintext: bytes, aad: bytes):
+        """Closure the reliability layer calls to re-frame a message.
+
+        Every invocation draws a **fresh nonce** — so retransmissions
+        never reuse a (key, nonce) pair (the sanitizer's ledger stays
+        clean) and the receiver's ReplayGuard sees a new counter.  The
+        seal's CPU time is returned, not charged here: the reliability
+        layer folds it into the retransmission delay (the re-seal runs
+        on the sender's progress machinery, off the rank's critical
+        path).
+        """
+
+        def reseal():
+            dur = self.profile.encrypt_time(len(plaintext), self.crypto_slowdown)
+            self.bytes_encrypted += len(plaintext)
+            nonce = self._nonces.next()
+            if self._san is not None:
+                self._san.check_nonce(self._aead.key, nonce, self.rank)
+            rec = self.ctx.recorder
+            if rec is not None:
+                rec.emit("aead", "seal", self.rank, backend=self._aead.name,
+                         bytes=len(plaintext), dur=dur)
+                c = rec.rank_counters(self.rank)
+                c.aead_seals += 1
+                c.bytes_sealed += len(plaintext)
+                c.nonces_consumed += 1
+            if self.config.crypto_mode == "real":
+                return nonce + self._aead.seal(nonce, plaintext, aad), dur
+            return OpaquePayload(nonce, plaintext, bytes(16)), dur
+
+        return reseal
+
     def _plaintext_len(self, wire: bytes) -> int:
         return max(0, len(wire) - WIRE_OVERHEAD)
 
@@ -217,10 +298,16 @@ class EncryptedComm:
     # ------------------------------------------------------------------
 
     def isend(self, data: bytes, dest: int, tag: int = 0) -> EncryptedRequest:
-        wire = self._encrypt_charged(bytes(data), self._aad_for_peer(self.rank, tag))
+        data = bytes(data)
+        aad = self._aad_for_peer(self.rank, tag)
+        wire = self._encrypt_charged(data, aad)
         self.messages_sent += 1
+        reseal = None
+        if self._resilience is not None:
+            reseal = self._make_reseal(data, aad)
         inner = self.ctx.comm.isend(
-            wire, dest, tag, wire_bytes=self._wire_bytes(len(data))
+            wire, dest, tag, wire_bytes=self._wire_bytes(len(data)),
+            _reseal=reseal,
         )
         return EncryptedRequest(inner, self, "send")
 
@@ -230,7 +317,7 @@ class EncryptedComm:
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> EncryptedRequest:
         inner = self.ctx.comm.irecv(source, tag)
         self.messages_received += 1
-        return EncryptedRequest(inner, self, "recv")
+        return EncryptedRequest(inner, self, "recv", source=source, tag=tag)
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> tuple[bytes, object]:
         req = self.irecv(source, tag)

@@ -177,18 +177,38 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_nas(args) -> int:
+    from repro.simmpi.faults import parse_fault_plan
+    from repro.simmpi.resilience import parse_resilience_policy
     from repro.util.stats import overhead_percent
     from repro.workloads.nas import NAS_BENCHMARKS, run_nas
 
+    try:
+        faults = parse_fault_plan(args.faults) if args.faults else None
+        policy = (
+            parse_resilience_policy(args.resilience) if args.resilience else None
+        )
+    except ValueError as exc:
+        print(f"bad --faults/--resilience spec: {exc}", file=sys.stderr)
+        return 2
+    perturbed = dict(faults=faults, resilience=policy)
     names = NAS_BENCHMARKS() if args.benchmark == "all" else [args.benchmark]
     for name in names:
+        # the baseline column stays the calibrated clean-fabric number;
+        # faults/resilience perturb the runs under comparison
         base = run_nas(name, network=args.network)
         line = f"{name.upper():4s} {args.network}: baseline {base.total_seconds:7.2f}s"
         if args.library:
-            enc = run_nas(name, network=args.network, library=args.library)
+            enc = run_nas(name, network=args.network, library=args.library,
+                          **perturbed)
             line += (
                 f"  {args.library} {enc.total_seconds:7.2f}s "
                 f"(+{overhead_percent(enc.total_seconds, base.total_seconds):.2f}%)"
+            )
+        elif faults is not None or policy is not None:
+            lossy = run_nas(name, network=args.network, **perturbed)
+            line += (
+                f"  faulty {lossy.total_seconds:7.2f}s "
+                f"(+{overhead_percent(lossy.total_seconds, base.total_seconds):.2f}%)"
             )
         line += f"  [comm {base.comm_seconds:.2f}s, compute {base.compute_seconds:.2f}s]"
         print(line)
@@ -376,6 +396,20 @@ def main(argv: list[str] | None = None) -> int:
                      choices=["ethernet", "infiniband"])
     nas.add_argument("--library", default=None,
                      help="boringssl|openssl|libsodium|cryptopp (default: baseline only)")
+    nas.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="seeded fault plan for the comm simulation, e.g. "
+        "'drop=0.05,corrupt=0.02,seed=7' (see repro.simmpi.faults)",
+    )
+    nas.add_argument(
+        "--resilience",
+        default=None,
+        metavar="SPEC",
+        help="ack/retransmit policy, e.g. 'retries=6,timeout=0.001,"
+        "backoff=exponential,escalation=fail' (see repro.simmpi.resilience)",
+    )
     nas.set_defaults(func=_cmd_nas)
     analyze = sub.add_parser(
         "analyze", help="decompose a ping-pong overhead (the §V-A arithmetic)"

@@ -15,6 +15,7 @@ from typing import Callable, Iterable
 from repro.experiments import figures, tables
 from repro.experiments.report import Artifact
 from repro.experiments.extras import unreported_collectives
+from repro.experiments.resilience import resilience
 from repro.experiments.scalability import scalability
 
 
@@ -65,6 +66,13 @@ def _reg() -> dict[str, Experiment]:
             "§IV",
             "Encrypted_Allgather/Alltoallv (implemented, unreported)",
             unreported_collectives,
+            "medium",
+        ),
+        Experiment(
+            "resilience",
+            "§V ext.",
+            "Goodput/latency under injected faults, ack/retransmit",
+            resilience,
             "medium",
         ),
     ]

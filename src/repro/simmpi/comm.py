@@ -117,11 +117,15 @@ class CommHandle:
     # ------------------------------------------------------------------
 
     def isend(self, data: bytes, dest: int, tag: int = 0, *, wire_bytes: int = -1,
-              payload_bytes: int = -1, _internal: bool = False) -> Request:
+              payload_bytes: int = -1, _internal: bool = False,
+              _reseal=None) -> Request:
         """Non-blocking send; completes when the buffer is reusable.
 
         ``payload_bytes`` overrides traffic accounting for payloads that
         carry protocol headers (collective packing); see Envelope.
+        ``_reseal`` (resilience-armed encrypted sends only) is the
+        closure the reliability layer calls to re-frame the message with
+        a fresh nonce for a retransmission.
         """
         self._check_peer(dest)
         self._check_tag(tag, _internal)
@@ -140,6 +144,8 @@ class CommHandle:
             wire_bytes=wire_bytes,
             payload_bytes=payload_bytes,
         )
+        if _reseal is not None:
+            env.info["reseal"] = _reseal
         req = Request(self._comm.scheduler, "send")
         san = self._comm.sanitizer
         if san is not None:
@@ -156,8 +162,12 @@ class CommHandle:
                    payload_bytes=payload_bytes, _internal=_internal).wait()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
-              _internal: bool = False) -> Request:
-        """Non-blocking receive; ``wait()`` returns the payload bytes."""
+              _internal: bool = False, _require_id: int | None = None) -> Request:
+        """Non-blocking receive; ``wait()`` returns the payload bytes.
+
+        ``_require_id`` pins the receive to one reliable-delivery id
+        (resilience re-posts only); see MatchingEngine.post_recv.
+        """
         if source != ANY_SOURCE:
             self._check_peer(source)
         self._check_tag(tag, _internal, allow_any=True)
@@ -208,7 +218,7 @@ class CommHandle:
                           peer=match_source, tag=tag, nbytes=0,
                           now=sched.now)
         self._comm.transport.engines[self._global_rank(self.rank)].post_recv(
-            match_source, tag, self._comm_id, on_match
+            match_source, tag, self._comm_id, on_match, require_id=_require_id
         )
 
         def postprocess(payload: bytes) -> bytes:

@@ -13,8 +13,9 @@ policies keep simulations reproducible.
 from __future__ import annotations
 
 import enum
+import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.simmpi.message import Envelope, OpaquePayload
 
@@ -38,20 +39,28 @@ class FaultInjector:
     injected: dict[FaultAction, int] = field(
         default_factory=lambda: {a: 0 for a in FaultAction}
     )
+    #: DUPLICATE verdicts on rendezvous RTS headers, which deliver only
+    #: once — counted here (and as DELIVER in the ledger), never as an
+    #: injected duplicate
+    rts_duplicates_skipped: int = 0
 
     def apply(self, env: Envelope) -> list[Envelope]:
         """Returns the envelopes to actually deliver (0, 1 or 2)."""
         action = self.policy(env)
+        if action is FaultAction.DUPLICATE and "rendezvous_trigger" in env.info:
+            # An RTS header cannot be meaningfully duplicated (its
+            # transfer state is single-shot); deliver it once and keep
+            # the ledger honest — the envelope was delivered, not
+            # duplicated.
+            self.rts_duplicates_skipped += 1
+            self.injected[FaultAction.DELIVER] += 1
+            return [env]
         self.injected[action] += 1
         if action is FaultAction.DELIVER:
             return [env]
         if action is FaultAction.DROP:
             return []
         if action is FaultAction.DUPLICATE:
-            if "rendezvous_trigger" in env.info:
-                # An RTS header cannot be meaningfully duplicated (its
-                # transfer state is single-shot); deliver it once.
-                return [env]
             clone = Envelope(
                 src=env.src,
                 dst=env.dst,
@@ -79,6 +88,106 @@ def _flip_bit(payload, bit_index: int):
     byte_i = (bit_index // 8) % len(data)
     data[byte_i] ^= 1 << (bit_index % 8)
     return bytes(data)
+
+
+# -- declarative plans ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative, seeded fault model — the repeatable way to misbehave.
+
+    A plan is a frozen value: rates per fault action, a seed, and
+    optional route/tag filters.  :meth:`build` resolves it into a fresh
+    :class:`FaultInjector` (own RNG stream, own ledger), so one plan can
+    parameterize every cell of a sweep without the shared-mutable-state
+    trap the old instance-vs-factory API had.  Given a fixed delivery
+    order — which the deterministic simulator guarantees — two builds
+    of the same plan inject the identical fault sequence.
+
+    Rates are probabilities in ``[0, 1]`` summing to at most 1; the
+    remainder delivers untouched.  The RNG is consumed only for
+    envelopes that pass the filters, so filtered-out traffic cannot
+    perturb the fault sequence.
+    """
+
+    drop: float = 0.0
+    corrupt: float = 0.0
+    duplicate: float = 0.0
+    seed: int = 0
+    #: optional filters: only envelopes matching all set fields are
+    #: candidates for fault injection (None = any)
+    src: Optional[int] = None
+    dst: Optional[int] = None
+    tag: Optional[int] = None
+    #: bit index flipped by CORRUPT (see FaultInjector.corrupt_bit)
+    corrupt_bit: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "corrupt", "duplicate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+        if self.drop + self.corrupt + self.duplicate > 1.0:
+            raise ValueError(
+                "drop + corrupt + duplicate rates exceed 1.0: "
+                f"{self.drop} + {self.corrupt} + {self.duplicate}"
+            )
+
+    def _matches(self, env: Envelope) -> bool:
+        if self.src is not None and env.src != self.src:
+            return False
+        if self.dst is not None and env.dst != self.dst:
+            return False
+        if self.tag is not None and env.tag != self.tag:
+            return False
+        return True
+
+    def build(self) -> FaultInjector:
+        """A fresh injector realizing this plan (one per job/cell)."""
+        rng = random.Random(self.seed)
+        drop_t = self.drop
+        corrupt_t = self.drop + self.corrupt
+        dup_t = self.drop + self.corrupt + self.duplicate
+
+        def policy(env: Envelope) -> FaultAction:
+            if not self._matches(env):
+                return FaultAction.DELIVER
+            u = rng.random()
+            if u < drop_t:
+                return FaultAction.DROP
+            if u < corrupt_t:
+                return FaultAction.CORRUPT
+            if u < dup_t:
+                return FaultAction.DUPLICATE
+            return FaultAction.DELIVER
+
+        return FaultInjector(policy, corrupt_bit=self.corrupt_bit)
+
+
+def parse_fault_plan(spec: str) -> FaultPlan:
+    """Parse ``"drop=0.05,corrupt=0.02,seed=7"`` into a FaultPlan.
+
+    Keys: ``drop``, ``corrupt``, ``duplicate`` (rates), ``seed``,
+    ``src``, ``dst``, ``tag``, ``corrupt_bit`` (ints).  Unknown keys
+    raise :class:`ValueError` naming the valid ones.
+    """
+    kwargs: dict = {}
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed fault option {part!r} (need key=value)")
+        key = key.strip()
+        if key in ("drop", "corrupt", "duplicate"):
+            kwargs[key] = float(value)
+        elif key in ("seed", "src", "dst", "tag", "corrupt_bit"):
+            kwargs[key] = int(value)
+        else:
+            raise ValueError(
+                f"unknown fault option {key!r}; valid: drop, corrupt, "
+                "duplicate, seed, src, dst, tag, corrupt_bit"
+            )
+    return FaultPlan(**kwargs)
 
 
 # -- ready-made policies -------------------------------------------------------

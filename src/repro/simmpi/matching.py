@@ -21,6 +21,18 @@ class _PostedRecv:
     tag: int
     comm_id: int
     on_match: Callable[[Envelope], None]
+    #: when set, only an envelope carrying this reliable-delivery id
+    #: (env.info["rd_id"]) matches — used by the resilience layer to
+    #: pin a re-posted receive to the retransmitted copy, so later
+    #: messages on the route cannot overtake it through this recv
+    require_id: int | None = None
+
+    def satisfies(self, env: Envelope) -> bool:
+        if env.comm_id != self.comm_id or not env.matches(self.source, self.tag):
+            return False
+        if self.require_id is not None:
+            return env.info.get("rd_id") == self.require_id
+        return True
 
 
 class MatchingEngine:
@@ -38,15 +50,17 @@ class MatchingEngine:
         tag: int,
         comm_id: int,
         on_match: Callable[[Envelope], None],
+        require_id: int | None = None,
     ) -> None:
         """Register a receive; fires *on_match* immediately if an
         unexpected envelope already satisfies it."""
+        recv = _PostedRecv(source, tag, comm_id, on_match, require_id)
         for i, env in enumerate(self._unexpected):
-            if env.comm_id == comm_id and env.matches(source, tag):
+            if recv.satisfies(env):
                 del self._unexpected[i]
                 on_match(env)
                 return
-        self._posted.append(_PostedRecv(source, tag, comm_id, on_match))
+        self._posted.append(recv)
 
     def deliver(self, env: Envelope) -> None:
         """An envelope arrived: match a posted recv or queue unexpected."""
@@ -61,7 +75,7 @@ class MatchingEngine:
                 still_waiting.append(probe)
         self._probes = still_waiting
         for i, posted in enumerate(self._posted):
-            if posted.comm_id == env.comm_id and env.matches(posted.source, posted.tag):
+            if posted.satisfies(env):
                 del self._posted[i]
                 posted.on_match(env)
                 return

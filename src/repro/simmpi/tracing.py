@@ -174,6 +174,13 @@ class RankCounters:
     nonces_consumed: int = 0
     auth_failures: int = 0
     replay_drops: int = 0
+    # reliable-delivery layer (repro.simmpi.resilience); all zero — and
+    # the retry/nack/ack/gave_up events absent — unless a
+    # ResiliencePolicy is armed, keeping golden digests unchanged
+    retransmits: int = 0
+    nacks: int = 0
+    acks: int = 0
+    gave_ups: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)

@@ -57,6 +57,10 @@ class Transport:
         self.recorder = recorder
         #: optional FaultInjector applied at delivery time
         self.fault_injector = None
+        #: optional ReliabilityManager (repro.simmpi.resilience) armed
+        #: by run_program(resilience=...); None = the historical
+        #: fire-and-forget transport, byte-identical behaviour
+        self.resilience = None
         self.engines: list[MatchingEngine] = [
             MatchingEngine(r) for r in range(cluster.nranks)
         ]
@@ -101,6 +105,8 @@ class Transport:
         env.info["prev_delivery"] = self._route_tail.get(route)
         env.info["delivery_done"] = self.sched.event()
         self._route_tail[route] = env.info["delivery_done"]
+        if self.resilience is not None:
+            self.resilience.track(env)
         if self.cluster.same_node(env.src, env.dst):
             self._send_shm(env, size, on_sent)
         elif self.net.is_eager(size):
@@ -218,6 +224,8 @@ class Transport:
 
     def _deliver_after(self, env: Envelope, delay: float) -> None:
         """Schedule delivery *delay* from now, behind the route's chain."""
+        if self.resilience is not None:
+            self.resilience.arm(env, delay)
         self.sched.engine.schedule(delay, self._try_deliver, env)
 
     def _try_deliver(self, env: Envelope) -> None:
@@ -230,16 +238,37 @@ class Transport:
     def _deliver_now(self, env: Envelope) -> None:
         env.info.pop("prev_delivery", None)  # release the chain reference
         rec = self.recorder
-        if self.fault_injector is not None:
-            for out in self.fault_injector.apply(env):
-                if rec is not None:
-                    self._emit_deliver(rec, out)
-                self.engines[out.dst].deliver(out)
+        mgr = self.resilience
+        if mgr is not None and not mgr.should_deliver(env):
+            # A stale retransmission of an already-delivered (or
+            # abandoned) message: discard it without touching matching.
+            self._finish_delivery(env)
+            return
+        if self.fault_injector is not None and not env.info.get("rd_exempt"):
+            outs = self.fault_injector.apply(env)
         else:
+            outs = [env]
+        delivered = False
+        for out in outs:
             if rec is not None:
-                self._emit_deliver(rec, env)
-            self.engines[env.dst].deliver(env)
-        env.info["delivery_done"].succeed(None)
+                self._emit_deliver(rec, out)
+            self.engines[out.dst].deliver(out)
+            if out is env:
+                delivered = True
+        if mgr is None:
+            env.info["delivery_done"].succeed(None)
+            return
+        if delivered:
+            self._finish_delivery(env)
+            mgr.on_delivered(env)
+        # else: lost on the wire — the retransmission timer will fire,
+        # and the route chain stays held so FIFO order survives retries.
+
+    def _finish_delivery(self, env: Envelope) -> None:
+        """Resolve the envelope's chain event (retry clones have none)."""
+        done = env.info.get("delivery_done")
+        if done is not None and not done.done:
+            done.succeed(None)
 
     # -- structured-event helpers ------------------------------------------
 

@@ -24,7 +24,8 @@ class RankContext:
     """Everything one rank's program sees."""
 
     def __init__(self, comm: CommHandle, scheduler: Scheduler,
-                 cluster: ClusterRuntime, recorder=None, sanitizer=None):
+                 cluster: ClusterRuntime, recorder=None, sanitizer=None,
+                 resilience=None):
         self.comm = comm
         self._scheduler = scheduler
         self._cluster = cluster
@@ -37,6 +38,10 @@ class RankContext:
         #: repro.analysis.sanitize.Sanitizer when the job runs with
         #: sanitize=True (None otherwise)
         self.sanitizer = sanitizer
+        #: repro.simmpi.resilience.ReliabilityManager when the job runs
+        #: with a ResiliencePolicy armed (None otherwise); the encrypted
+        #: layer uses it to NACK auth failures into retransmissions
+        self.resilience = resilience
 
     @property
     def rank(self) -> int:
@@ -95,6 +100,9 @@ class SimResult:
     #: sanitize=True (the run raises SanitizerError instead of
     #: returning when the report has leaks)
     sanitizer: Any = None
+    #: a repro.simmpi.resilience.ResilienceReport when the job ran with
+    #: a ResiliencePolicy armed (None otherwise)
+    resilience: Any = None
 
 
 def run_program(
@@ -107,6 +115,7 @@ def run_program(
     trace: TraceMode = False,
     fault_injector=None,
     sanitize: bool | None = None,
+    resilience=None,
 ) -> SimResult:
     """Run *program* on *nranks* simulated ranks; returns a SimResult.
 
@@ -131,6 +140,12 @@ def run_program(
     reuse raises regardless of backend.  ``None`` (the default) defers
     to the process-wide default set by campaign ``--sanitize``.
     Sanitizing never changes virtual timing or results.
+
+    ``resilience`` (a :class:`repro.simmpi.resilience.ResiliencePolicy`)
+    arms the reliable-delivery layer: per-envelope retransmission
+    timers with deterministic backoff, NACK+fresh-nonce retransmission
+    of auth failures, and policy-driven escalation.  Unset, the
+    transport behaves byte-identically to before.
     """
     from repro.analysis.sanitize import (
         Sanitizer,
@@ -153,6 +168,13 @@ def run_program(
     communicator = Communicator(scheduler, runtime, comm_trace, recorder,
                                 sanitizer)
     communicator.transport.fault_injector = fault_injector
+    manager = None
+    if resilience is not None:
+        from repro.simmpi.resilience import ReliabilityManager
+
+        manager = ReliabilityManager(scheduler, communicator.transport,
+                                     resilience, recorder)
+        communicator.transport.resilience = manager
 
     results: list[Any] = [None] * nranks
     spans: list[tuple[float, float]] = [(0.0, 0.0)] * nranks
@@ -165,7 +187,7 @@ def run_program(
             recorder.emit("engine", "proc_start", rank,
                           node=runtime.node_of(rank).index)
         ctx = RankContext(communicator.handle(rank), scheduler, runtime,
-                          recorder, sanitizer)
+                          recorder, sanitizer, manager)
         try:
             results[rank] = program(ctx)
         finally:
@@ -193,4 +215,5 @@ def run_program(
         results=results, duration=duration, spans=spans,
         trace=recorder if recorder is not None else comm_trace,
         sanitizer=report,
+        resilience=manager.report() if manager is not None else None,
     )

@@ -1,0 +1,165 @@
+"""The typed RunOptions / FaultPlan facade.
+
+The redesign's contract: ``options=RunOptions(...)`` is byte-for-byte
+equivalent to the loose keyword tail it replaces, mixing the two forms
+is an error, and the deprecated raw-injector spellings keep working
+behind a one-shot DeprecationWarning.
+"""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.models.cpu import ClusterSpec
+from repro.simmpi.faults import FaultAction, FaultInjector, FaultPlan, target_route
+from repro.simmpi.resilience import ResiliencePolicy
+
+CLUSTER = ClusterSpec(nodes=2, cores_per_node=4)
+TAG_EXCHANGE = 3
+PLAN = FaultPlan(drop=0.25, seed=5)
+POLICY = ResiliencePolicy(max_retries=4, timeout=1e-3)
+
+
+def _workload(ctx):
+    if ctx.rank == 0:
+        ctx.comm.send(b"\x11" * 256, 1, tag=TAG_EXCHANGE)
+        return ctx.now
+    data, _status = ctx.comm.recv(0, TAG_EXCHANGE)
+    return (ctx.now, data)
+
+
+def _exchange_many(ctx):
+    for i in range(6):
+        if ctx.rank == 0:
+            ctx.comm.send(bytes([i]) * 128, 1, tag=TAG_EXCHANGE)
+            ctx.comm.recv(1, TAG_EXCHANGE)
+        else:
+            ctx.comm.recv(0, TAG_EXCHANGE)
+            ctx.comm.send(bytes([i]) * 128, 0, tag=TAG_EXCHANGE)
+    return ctx.now
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_ledger():
+    """Each test sees the one-shot deprecation warnings anew."""
+    api._warned.clear()
+    yield
+    api._warned.clear()
+
+
+def test_run_options_is_frozen_and_normalizes_trace():
+    opts = api.RunOptions(trace="events", faults=PLAN, resilience=POLICY)
+    with pytest.raises(AttributeError):
+        opts.trace = False
+    bad = pytest.raises(ValueError, api.RunOptions, trace="evnts")
+    assert "trace" in str(bad.value)
+    with pytest.raises(TypeError, match="resilience"):
+        api.RunOptions(resilience="retries=3")
+
+
+def test_options_equivalent_to_loose_kwargs():
+    loose = api.run_job(
+        _exchange_many, nranks=2, cluster=CLUSTER,
+        trace=True, faults=PLAN, resilience=POLICY,
+    )
+    bundled = api.run_job(
+        _exchange_many, nranks=2, cluster=CLUSTER,
+        options=api.RunOptions(trace=True, faults=PLAN, resilience=POLICY),
+    )
+    assert loose.results == bundled.results
+    assert loose.duration == bundled.duration
+    assert loose.spans == bundled.spans
+    assert loose.resilience == bundled.resilience
+
+
+def test_options_conflicts_with_loose_kwargs():
+    with pytest.raises(TypeError, match="not both"):
+        api.run_job(
+            _workload, nranks=2, cluster=CLUSTER,
+            trace=True, options=api.RunOptions(trace=True),
+        )
+    with pytest.raises(TypeError, match="not both"):
+        api.run_job(
+            _workload, nranks=2, cluster=CLUSTER,
+            resilience=POLICY, options=api.RunOptions(),
+        )
+
+
+def test_fault_plan_accepted_without_warning():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        job = api.run_job(
+            _exchange_many, nranks=2, cluster=CLUSTER,
+            faults=PLAN, resilience=POLICY,
+        )
+    assert job.resilience.gave_up == 0
+
+
+def test_raw_injector_warns_once():
+    inj = FaultInjector(target_route(2, 3, FaultAction.DROP))
+    with pytest.warns(DeprecationWarning, match="FaultPlan"):
+        api.run_job(_workload, nranks=2, cluster=CLUSTER, faults=inj)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second use: shim stays silent
+        api.run_job(_workload, nranks=2, cluster=CLUSTER, faults=inj)
+
+
+def test_fault_injector_kwarg_warns_and_aliases_faults():
+    inj = FaultInjector(target_route(2, 3, FaultAction.DROP))
+    with pytest.warns(DeprecationWarning, match="fault_injector"):
+        job = api.run_job(
+            _workload, nranks=2, cluster=CLUSTER, fault_injector=inj
+        )
+    clean = api.run_job(_workload, nranks=2, cluster=CLUSTER)
+    assert job.duration == clean.duration  # drop filter matched nothing
+    with pytest.raises(TypeError, match="fault_injector"):
+        api.run_job(
+            _workload, nranks=2, cluster=CLUSTER,
+            faults=PLAN, fault_injector=inj,
+        )
+
+
+def test_raw_injector_shim_equivalent_to_plan():
+    # The deprecated spelling must produce the exact run the plan does.
+    with pytest.warns(DeprecationWarning):
+        shimmed = api.run_job(
+            _exchange_many, nranks=2, cluster=CLUSTER,
+            fault_injector=PLAN.build(), resilience=POLICY,
+        )
+    direct = api.run_job(
+        _exchange_many, nranks=2, cluster=CLUSTER,
+        faults=PLAN, resilience=POLICY,
+    )
+    assert shimmed.duration == direct.duration
+    assert shimmed.results == direct.results
+    assert shimmed.resilience == direct.resilience
+
+
+def test_sweep_builds_fresh_injector_per_cell():
+    # A plan parameterizes every cell; each build gets its own RNG
+    # stream, so both networks see the identical fault sequence.
+    points = api.sweep(
+        _exchange_many,
+        nranks=2,
+        networks=("ethernet", "infiniband"),
+        cluster=CLUSTER,
+        faults=PLAN,
+        resilience=POLICY,
+    )
+    assert len(points) == 2
+    retx = [p.result.resilience.retransmits for p in points]
+    assert retx[0] == retx[1] > 0
+
+
+def test_sweep_accepts_options_bundle():
+    loose = api.sweep(
+        _exchange_many, nranks=2, networks=("ethernet",), cluster=CLUSTER,
+        faults=PLAN, resilience=POLICY,
+    )
+    bundled = api.sweep(
+        _exchange_many, nranks=2, networks=("ethernet",), cluster=CLUSTER,
+        options=api.RunOptions(faults=PLAN, resilience=POLICY),
+    )
+    assert loose[0].result.duration == bundled[0].result.duration
+    assert loose[0].result.resilience == bundled[0].result.resilience

@@ -32,3 +32,22 @@ def test_analyze_ethernet_small(capsys):
     out = capsys.readouterr().out
     assert "256B over ethernet" in out
     assert "largest size" in out
+
+
+def test_nas_subcommand_faults_and_resilience(capsys):
+    # CG under a seeded lossy fabric with ack/retransmit armed: the run
+    # completes and the faulty column shows a positive overhead.
+    assert main([
+        "nas", "cg",
+        "--faults", "drop=0.004,corrupt=0.001,seed=11",
+        "--resilience", "retries=6,timeout=0.0005,escalation=fail",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "faulty" in out
+    assert "baseline" in out
+
+
+def test_nas_subcommand_bad_fault_spec(capsys):
+    assert main(["nas", "cg", "--faults", "dorp=0.1"]) == 2
+    err = capsys.readouterr().err
+    assert "bad --faults/--resilience spec" in err
