@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install check lint check-sanitize check-resilience \
+.PHONY: install check lint check-sanitize check-resilience check-cryptmpi \
 	test test-fast test-all \
 	bench bench-baseline bench-pytest \
 	trace-goldens check-tracing-overhead \
@@ -14,7 +14,7 @@ PYTHON ?= python
 # executes zero runners), a sanitized re-run of the fast tier, and the
 # fault-sweep determinism invariant.
 check: lint test campaign-fast check-campaign-cache check-sanitize \
-	check-resilience
+	check-resilience check-cryptmpi
 
 # Static misuse analysis (MPI protocol, determinism, crypto) over the
 # tree the repo promises to keep clean; exits nonzero on any finding.
@@ -43,6 +43,18 @@ check-resilience:
 	$(PYTHON) -m repro.experiments run resilience --output results/resilience-b
 	diff -r results/resilience-a results/resilience-b
 	@echo "check-resilience: two seeded fault sweeps byte-identical"
+
+# Pipelined-crypto determinism: the cryptmpi experiment (chunked seals
+# scheduled on the node's helper cores, overlapped with the wire) run
+# twice must produce byte-identical artifacts — core allocation order,
+# chunk completion order, and nonce draws are all virtual-time
+# deterministic.
+check-cryptmpi:
+	rm -rf results/cryptmpi-a results/cryptmpi-b
+	$(PYTHON) -m repro.experiments run cryptmpi --output results/cryptmpi-a
+	$(PYTHON) -m repro.experiments run cryptmpi --output results/cryptmpi-b
+	diff -r results/cryptmpi-a results/cryptmpi-b
+	@echo "check-cryptmpi: two pipelined-crypto sweeps byte-identical"
 
 install:
 	$(PYTHON) setup.py develop

@@ -9,7 +9,7 @@ the kind of data the paper's overhead analysis is built on.
 Run:  python examples/comm_characterization.py
 """
 
-from repro.encmpi import EncryptedComm, SecurityConfig
+from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
 from repro.models.cpu import ClusterSpec
 from repro.simmpi import run_program
 from repro.workloads.nas.common import NasComm
@@ -26,7 +26,10 @@ def characterize(library: str | None):
         enc = None
         if library is not None:
             enc = EncryptedComm(
-                ctx, SecurityConfig(library=library, crypto_mode="modeled")
+                ctx,
+                SecurityConfig(
+                    crypto=CryptoPlan(library=library, bytework="modeled")
+                ),
             )
         comm = NasComm(ctx, enc)
         bench.skeleton(comm, 0)  # one iteration

@@ -30,10 +30,11 @@ Design rules of the facade:
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, Union
 
 from repro.encmpi.config import SecurityConfig
+from repro.encmpi.plan import CryptoPlan, parse_crypto_plan
 from repro.experiments.registry import (
     Experiment,
     get_experiment,
@@ -59,6 +60,7 @@ if TYPE_CHECKING:
 
 __all__ = [
     "ClusterSpec",
+    "CryptoPlan",
     "Experiment",
     "FaultInjector",
     "FaultPlan",
@@ -73,6 +75,7 @@ __all__ = [
     "get_experiment",
     "lint_job",
     "list_experiments",
+    "parse_crypto_plan",
     "parse_trace_mode",
     "run_campaign",
     "run_job",
@@ -102,16 +105,25 @@ class RunOptions:
     """Typed bundle of the cross-cutting ``run_job``/``sweep`` keywords.
 
     The keyword tail these functions accumulated (``trace``, faults,
-    ``sanitize``, ``resilience``) folds into one frozen value passed as
-    ``options=``; the individual keywords keep working and are
-    equivalent byte-for-byte (pinned by ``tests/api/test_run_options.py``).
-    Passing both ``options=`` and an individual keyword raises.
+    ``sanitize``, ``resilience``, ``cluster``) folds into one frozen
+    value passed as ``options=``; the individual keywords keep working
+    and are equivalent byte-for-byte (pinned by
+    ``tests/api/test_run_options.py``).  Passing both ``options=`` and
+    an individual keyword raises — except ``cluster``, which predates
+    the bundle as a first-class job-shape keyword and may accompany an
+    ``options=`` bundle that leaves its own ``cluster`` unset.
+
+    ``cluster`` makes the core topology part of the job configuration
+    proper: None means the paper's testbed (:data:`PAPER_CLUSTER`), and
+    the resolved spec feeds the content-addressed campaign cache key
+    (:func:`repro.experiments.campaign.job_config_digest`).
     """
 
     trace: TraceMode = False
     faults: FaultSpec = None
     sanitize: bool | None = None
     resilience: ResiliencePolicy | None = None
+    cluster: ClusterSpec | None = None
 
     def __post_init__(self) -> None:
         # normalize the trace mode up front so equality between an
@@ -124,6 +136,12 @@ class RunOptions:
                 f"resilience must be a ResiliencePolicy or None, "
                 f"got {self.resilience!r}"
             )
+        if self.cluster is not None and not isinstance(
+            self.cluster, ClusterSpec
+        ):
+            raise TypeError(
+                f"cluster must be a ClusterSpec or None, got {self.cluster!r}"
+            )
 
 
 def _resolve_options(
@@ -133,6 +151,7 @@ def _resolve_options(
     fault_injector: FaultSpec,
     sanitize: bool | None,
     resilience: ResiliencePolicy | None,
+    cluster: ClusterSpec | None = None,
 ) -> RunOptions:
     """One RunOptions from the loose kwargs and/or the bundle."""
     if fault_injector is not None:
@@ -162,12 +181,27 @@ def _resolve_options(
         ):
             raise TypeError(
                 "pass the run options either individually (trace=, "
-                "faults=, sanitize=, resilience=) or bundled via "
-                "options=RunOptions(...), not both"
+                "faults=, sanitize=, resilience=, cluster=) or bundled "
+                "via options=RunOptions(...), not both"
             )
+        # cluster predates RunOptions as a first-class job-shape kwarg
+        # (like nranks/network), so the loose spelling stays welcome
+        # next to an options bundle — only a double specification is
+        # ambiguous.
+        if cluster is not None:
+            if options.cluster is not None:
+                raise TypeError(
+                    "cluster specified twice: as the cluster= keyword "
+                    "and inside options=RunOptions(cluster=...)"
+                )
+            if not isinstance(cluster, ClusterSpec):
+                raise TypeError(
+                    f"cluster must be a ClusterSpec or None, got {cluster!r}"
+                )
+            return replace(options, cluster=cluster)
         return options
     return RunOptions(trace=trace, faults=faults, sanitize=sanitize,
-                      resilience=resilience)
+                      resilience=resilience, cluster=cluster)
 
 
 def _fresh_injector(faults: FaultSpec) -> FaultInjector | None:
@@ -233,7 +267,7 @@ def run_job(
     nranks: int = 2,
     security: SecurityConfig | None = None,
     network: str | NetworkModel = "ethernet",
-    cluster: ClusterSpec = PAPER_CLUSTER,
+    cluster: ClusterSpec | None = None,
     placement: str = "block",
     trace: TraceMode = False,
     faults: FaultSpec = None,
@@ -275,11 +309,14 @@ def run_job(
     policy-driven escalation; the job-wide
     :class:`~repro.simmpi.resilience.ResilienceReport` rides on
     ``JobResult.resilience``.  *options* bundles trace/faults/sanitize/
-    resilience as one :class:`RunOptions` (equivalent byte-for-byte).
+    resilience/cluster as one :class:`RunOptions` (equivalent
+    byte-for-byte).  *cluster* defaults to the paper's testbed
+    (:data:`PAPER_CLUSTER`).
     """
     opts = _resolve_options(options, trace, faults, fault_injector,
-                            sanitize, resilience)
+                            sanitize, resilience, cluster)
     trace = opts.trace
+    cluster = opts.cluster if opts.cluster is not None else PAPER_CLUSTER
     if security is None:
         program = workload
     else:
@@ -318,7 +355,7 @@ def sweep(
     nranks: int = 2,
     networks: Sequence[str | NetworkModel] = ("ethernet",),
     securities: Iterable[SecurityConfig | None] = (None,),
-    cluster: ClusterSpec = PAPER_CLUSTER,
+    cluster: ClusterSpec | None = None,
     placement: str = "block",
     trace: TraceMode = False,
     faults: FaultSpec = None,
@@ -351,9 +388,10 @@ def sweep(
     platforms without ``fork`` the sweep silently degrades to serial.
     """
     opts = _resolve_options(options, trace, faults, fault_injector,
-                            sanitize, resilience)
+                            sanitize, resilience, cluster)
     trace = opts.trace
     faults = opts.faults
+    cluster = opts.cluster
     securities = tuple(securities)
     networks = tuple(networks)
     ncells = len(networks) * len(securities)
@@ -387,13 +425,13 @@ def sweep(
                 nranks=nranks,
                 security=sec,
                 network=net,
-                cluster=cluster,
                 placement=placement,
                 options=RunOptions(
                     trace=trace,
                     faults=_fresh_injector(faults),
                     sanitize=opts.sanitize,
                     resilience=opts.resilience,
+                    cluster=cluster,
                 ),
             )
 
@@ -442,6 +480,7 @@ def run_campaign(
     write_artifacts: bool = True,
     write_manifest: bool = True,
     sanitize: bool = False,
+    crypto: CryptoPlan | None = None,
 ) -> "CampaignResult":
     """Run a campaign of registry experiments; the facade's batch lane.
 
@@ -460,6 +499,13 @@ def run_campaign(
     Cache hits skip runners and therefore the sanitizer — combine with
     ``cache=False`` for a full sanitized sweep.
 
+    *crypto* sets the process-wide default :class:`CryptoPlan` for the
+    campaign (fork-pool workers inherit it): every
+    :class:`SecurityConfig` built without an explicit plan adopts its
+    pipeline geometry (mode/chunk/helper cores), and the plan's token
+    salts every cell's cache key so serial and cryptmpi results never
+    collide.
+
     Returns a frozen
     :class:`repro.experiments.campaign.CampaignResult`; failures never
     raise mid-campaign, they surface in ``result.failed``.
@@ -476,4 +522,5 @@ def run_campaign(
         write_artifacts=write_artifacts,
         write_manifest=write_manifest,
         sanitize=sanitize,
+        crypto=crypto,
     )

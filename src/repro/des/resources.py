@@ -66,3 +66,74 @@ class Resource:
         """Acquire a unit, hold it for *seconds* of virtual time, release."""
         with self:
             self._scheduler.current().sleep(seconds)
+
+
+class WorkPool:
+    """A pool of identical servers for fire-and-forget work items.
+
+    Unlike :class:`Resource` — whose acquire/release protocol needs a
+    simulated *process* to block — a WorkPool is driven entirely by
+    engine callbacks: :meth:`submit` charges a duration against the next
+    free server and returns a :class:`SimEvent` that succeeds when the
+    item finishes.  Items queue FIFO when all servers are busy, at equal
+    virtual times in submission order, so the completion schedule is
+    deterministic.  This is the substrate of the per-node
+    :class:`~repro.models.cpu.CoreAllocator`: hundreds of chunk-seal
+    jobs cost no OS threads.
+    """
+
+    def __init__(self, scheduler: Scheduler, capacity: int, name: str = "pool"):
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self._scheduler = scheduler
+        self.capacity = capacity
+        self.name = name
+        self._busy = 0
+        self._queue: deque[tuple[float, SimEvent]] = deque()
+
+    @property
+    def busy(self) -> int:
+        return self._busy
+
+    @property
+    def idle(self) -> int:
+        return max(0, self.capacity - self._busy - len(self._queue))
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def submit(self, seconds: float, after: SimEvent | None = None) -> SimEvent:
+        """Schedule *seconds* of work on the next free server.
+
+        Returns an event succeeding (with the finish time as value) when
+        the work completes.  With *after* set, the item is only enqueued
+        once that event succeeds — the cheap way to express per-operation
+        concurrency caps (chunk i waits for chunk i-cap).
+        """
+        if self.capacity == 0:
+            raise RuntimeError(f"work pool {self.name!r} has no servers")
+        if seconds < 0:
+            raise ValueError(f"negative work duration: {seconds}")
+        done = self._scheduler.event()
+        if after is not None and not after.done:
+            after.callbacks.append(lambda _ev: self._enqueue(seconds, done))
+        else:
+            self._enqueue(seconds, done)
+        return done
+
+    def _enqueue(self, seconds: float, done: SimEvent) -> None:
+        if self._busy < self.capacity:
+            self._start(seconds, done)
+        else:
+            self._queue.append((seconds, done))
+
+    def _start(self, seconds: float, done: SimEvent) -> None:
+        self._busy += 1
+        self._scheduler.engine.schedule(seconds, self._finish, done)
+
+    def _finish(self, done: SimEvent) -> None:
+        self._busy -= 1
+        if self._queue:
+            self._start(*self._queue.popleft())
+        done.succeed(self._scheduler.now)

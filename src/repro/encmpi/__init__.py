@@ -23,5 +23,6 @@ Extensions the paper leaves as future work are also here:
 
 from repro.encmpi.config import SecurityConfig
 from repro.encmpi.context import EncryptedComm
+from repro.encmpi.plan import CryptoPlan, parse_crypto_plan
 
-__all__ = ["SecurityConfig", "EncryptedComm"]
+__all__ = ["CryptoPlan", "SecurityConfig", "EncryptedComm", "parse_crypto_plan"]

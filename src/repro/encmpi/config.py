@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.crypto.keys import HARDCODED_KEY_128, HARDCODED_KEY_256
+from repro.encmpi.plan import CryptoPlan, apply_default_plan, warn_once
 from repro.models.cryptolib import PROFILED_LIBRARIES
 
-#: How payload bytes are processed.
+#: How payload bytes are processed (the resolved, read-only
+#: ``SecurityConfig.crypto_mode`` attribute; new code sets it through
+#: ``CryptoPlan.bytework``).
 #: - "real": every message is genuinely sealed/opened with AES-GCM
 #:   (tamper detection included) by the fastest available backend —
 #:   wall-clock cost proportional to traffic;
@@ -22,16 +25,27 @@ NONCE_STRATEGIES = ("random", "counter")
 
 @dataclass(frozen=True)
 class SecurityConfig:
-    """Selects library, key, nonce discipline, and crypto mode.
+    """Selects library, key, nonce discipline, and the crypto plan.
 
     The default mirrors the paper's setup: AES-GCM-256, random nonces,
-    a key hardcoded at 'build time' (no distribution mechanism).
+    a key hardcoded at 'build time' (no distribution mechanism), every
+    message sealed serially on the sending rank's core.
+
+    How traffic is sealed is a :class:`~repro.encmpi.plan.CryptoPlan`
+    passed as ``crypto=``; after construction ``config.crypto`` is
+    always a resolved plan and ``config.library``/``config.crypto_mode``
+    mirror its ``library``/``bytework`` fields, so existing readers keep
+    working.  Constructing with the old loose ``crypto_mode=`` keyword
+    still works behind a one-shot :class:`DeprecationWarning` and yields
+    a config equal to the ``CryptoPlan(bytework=...)`` spelling.
     """
 
     library: str = "boringssl"
     key_bits: int = 256
     nonce_strategy: str = "random"
-    crypto_mode: str = "real"
+    #: deprecated constructor keyword; reads as the resolved plan's
+    #: bytework ("real"/"modeled"), never None, after construction
+    crypto_mode: str | None = None
     key: bytes = b""
     #: authenticate the (source, tag) header as AAD — an extension over
     #: the paper, which authenticates only the payload
@@ -47,6 +61,9 @@ class SecurityConfig:
     #: nonce_strategy="counter" so the receiver can read the sequence
     #: counter out of the nonce.
     replay_window: int = 0
+    #: the crypto discipline: serial (the paper) or cryptmpi pipelined
+    #: (chunked seals on helper cores, overlapped with the wire)
+    crypto: CryptoPlan | None = None
 
     def __post_init__(self) -> None:
         if self.library not in PROFILED_LIBRARIES:
@@ -59,8 +76,9 @@ class SecurityConfig:
             raise ValueError("Libsodium only supports AES-GCM-256 (§III-B)")
         if self.nonce_strategy not in NONCE_STRATEGIES:
             raise ValueError(f"unknown nonce strategy {self.nonce_strategy!r}")
-        if self.crypto_mode not in CRYPTO_MODES:
-            raise ValueError(f"crypto_mode must be one of {CRYPTO_MODES}")
+        object.__setattr__(self, "crypto", self._resolve_plan())
+        object.__setattr__(self, "library", self.crypto.library)
+        object.__setattr__(self, "crypto_mode", self.crypto.bytework)
         if not self.key:
             default = (
                 HARDCODED_KEY_256 if self.key_bits == 256 else HARDCODED_KEY_128
@@ -79,15 +97,58 @@ class SecurityConfig:
                 "(random nonces carry no sequence counter)"
             )
 
+    def _resolve_plan(self) -> CryptoPlan:
+        """One CryptoPlan from the crypto=/crypto_mode=/library= trio."""
+        plan = self.crypto
+        if plan is not None and not isinstance(plan, CryptoPlan):
+            raise TypeError(
+                f"crypto must be a CryptoPlan or None, got {plan!r}"
+            )
+        if self.crypto_mode is not None:
+            if self.crypto_mode not in CRYPTO_MODES:
+                raise ValueError(f"crypto_mode must be one of {CRYPTO_MODES}")
+            warn_once(
+                "security-crypto-mode",
+                "SecurityConfig(crypto_mode=...) is deprecated; pass "
+                "crypto=CryptoPlan(bytework=...) instead",
+            )
+            if plan is not None and plan.bytework != self.crypto_mode:
+                raise ValueError(
+                    f"conflicting byte-work modes: crypto_mode="
+                    f"{self.crypto_mode!r} but crypto plan says "
+                    f"{plan.bytework!r}; drop the deprecated crypto_mode="
+                )
+        if plan is None:
+            return apply_default_plan(
+                CryptoPlan(
+                    library=self.library,
+                    bytework=self.crypto_mode or "real",
+                )
+            )
+        # Reconcile the two library spellings.  The plan wins when the
+        # config-level field was left at its default; a config-level
+        # override fills in a plan that left library at its default;
+        # two explicit, different choices are ambiguous.
+        if plan.library == self.library:
+            return plan
+        if self.library == "boringssl":
+            return plan
+        if plan.library == "boringssl":
+            return replace(plan, library=self.library)
+        raise ValueError(
+            f"conflicting libraries: SecurityConfig(library="
+            f"{self.library!r}) but crypto plan says {plan.library!r}"
+        )
+
     def with_key(self, key: bytes) -> "SecurityConfig":
         """A copy of this config using *key* (e.g. from key exchange)."""
         return SecurityConfig(
             library=self.library,
             key_bits=len(key) * 8,
             nonce_strategy=self.nonce_strategy,
-            crypto_mode=self.crypto_mode,
             key=key,
             bind_header=self.bind_header,
             backend=self.backend,
             replay_window=self.replay_window,
+            crypto=self.crypto,
         )

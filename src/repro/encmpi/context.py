@@ -140,6 +140,15 @@ class EncryptedComm:
         #: per-source anti-replay windows (populated lazily when
         #: config.replay_window > 0)
         self._replay_guards: dict[int, ReplayGuard] = {}
+        #: cryptmpi chunk pipeline — point-to-point sends/receives are
+        #: chunk-framed and their seals/opens scheduled on the node's
+        #: helper cores when CryptoPlan(mode="cryptmpi"); None (and the
+        #: wire format byte-identical to before) under mode="serial"
+        self._pipe = None
+        if self.config.crypto.pipelined:
+            from repro.encmpi.pipeline import ChunkPipeline
+
+            self._pipe = ChunkPipeline(self)
         #: counters for reporting
         self.bytes_encrypted = 0
         self.bytes_decrypted = 0
@@ -229,10 +238,15 @@ class EncryptedComm:
         and as a ``replay_drop`` trace event.  No-op unless
         ``config.replay_window > 0``.
         """
+        nonce = wire.prefix if isinstance(wire, OpaquePayload) else bytes(wire[:NONCE_SIZE])
+        self._replay_check_nonce(source, nonce)
+
+    def _replay_check_nonce(self, source: int, nonce: bytes) -> None:
+        """Replay check on an already-extracted nonce (the chunked
+        cryptmpi frames carry theirs past an 8-byte header)."""
         if self.config.replay_window <= 0:
             return
-        nonce = wire.prefix if isinstance(wire, OpaquePayload) else bytes(wire[:NONCE_SIZE])
-        counter = counter_of_nonce(nonce)
+        counter = counter_of_nonce(nonce[:NONCE_SIZE])
         guard = self._replay_guards.get(source)
         if guard is None:
             guard = self._replay_guards[source] = ReplayGuard(self.config.replay_window)
@@ -297,7 +311,9 @@ class EncryptedComm:
     # point-to-point (§IV: Send/Recv/ISend/IRecv/Wait/Waitall)
     # ------------------------------------------------------------------
 
-    def isend(self, data: bytes, dest: int, tag: int = 0) -> EncryptedRequest:
+    def isend(self, data: bytes, dest: int, tag: int = 0):
+        if self._pipe is not None:
+            return self._pipe.isend(bytes(data), dest, tag)
         data = bytes(data)
         aad = self._aad_for_peer(self.rank, tag)
         wire = self._encrypt_charged(data, aad)
@@ -314,7 +330,9 @@ class EncryptedComm:
     def send(self, data: bytes, dest: int, tag: int = 0) -> None:
         self.isend(data, dest, tag).wait()
 
-    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> EncryptedRequest:
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        if self._pipe is not None:
+            return self._pipe.irecv(source, tag)
         inner = self.ctx.comm.irecv(source, tag)
         self.messages_received += 1
         return EncryptedRequest(inner, self, "recv", source=source, tag=tag)

@@ -93,13 +93,24 @@ def _digest(doc: dict) -> str:
     ).hexdigest()[:16]
 
 
-def experiment_config_digest(exp: Experiment) -> str:
+def experiment_config_digest(exp: Experiment, crypto: Any = None) -> str:
     """Config digest of a registry cell (its configuration *is* its
-    registration; the runner's behavior is covered by the code key)."""
-    return _digest(
-        {"kind": "experiment", "id": exp.id, "paper_ref": exp.paper_ref,
-         "cost": exp.cost}
-    )
+    registration; the runner's behavior is covered by the code key).
+
+    *crypto* (a :class:`repro.encmpi.plan.CryptoPlan`) is the
+    campaign-wide default plan; its canonical token salts the digest so
+    serial and cryptmpi runs of the same cell occupy distinct cache
+    entries.  The experiment's own ``cluster`` override — when set —
+    is part of the digest for the same reason."""
+    doc: dict[str, Any] = {
+        "kind": "experiment", "id": exp.id, "paper_ref": exp.paper_ref,
+        "cost": exp.cost,
+    }
+    if exp.cluster is not None:
+        doc["cluster"] = _jsonable(exp.cluster)
+    if crypto is not None:
+        doc["crypto"] = crypto.token()
+    return _digest(doc)
 
 
 def job_config_digest(
@@ -332,6 +343,7 @@ def run_campaign(
     write_artifacts: bool = True,
     write_manifest: bool = True,
     sanitize: bool = False,
+    crypto: Any = None,
     on_start: Callable[[Experiment, int, int], None] | None = None,
     on_cell: Callable[[CellOutcome, int, int], None] | None = None,
 ) -> CampaignResult:
@@ -361,8 +373,18 @@ def run_campaign(
     surface as failed cells like any other runner exception.  Note
     that cache hits skip runners entirely and therefore skip the
     sanitizer; pass ``cache=False`` for a full sanitized sweep.
+
+    *crypto* (a :class:`repro.encmpi.plan.CryptoPlan`) sets the
+    process-wide default plan for the executing phase — fork-pool
+    workers inherit it, exactly like the sanitize flag — and salts
+    every cell's cache key with the plan's token.
     """
     t0 = time.perf_counter()
+    if crypto is not None:
+        from repro.encmpi.plan import CryptoPlan
+
+        if not isinstance(crypto, CryptoPlan):
+            raise TypeError(f"crypto must be a CryptoPlan, got {crypto!r}")
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     requested = list(selection)
@@ -388,7 +410,8 @@ def run_campaign(
         manifest_path = os.path.join(results_dir, MANIFEST_NAME)
 
     total = len(exps)
-    keys = {e.id: cell_key(e.id, experiment_config_digest(e), fingerprint)
+    keys = {e.id: cell_key(e.id, experiment_config_digest(e, crypto),
+                           fingerprint)
             for e in exps}
     outcomes: dict[str, CellOutcome] = {}
 
@@ -468,7 +491,7 @@ def run_campaign(
                     keys[exp.id],
                     {
                         "experiment": exp.id,
-                        "config_digest": experiment_config_digest(exp),
+                        "config_digest": experiment_config_digest(exp, crypto),
                         "code_fingerprint": fingerprint,
                         "seconds": payload["seconds"],
                         "artifact": payload["artifact"],
@@ -507,10 +530,13 @@ def run_campaign(
     # -- phase 2: execute the rest -----------------------------------------
     if pending:
         from repro.analysis.sanitize import set_default_sanitize
+        from repro.encmpi.plan import set_default_crypto_plan
 
         # Set before any worker forks so children inherit the flag;
         # restored afterwards so the flag never leaks past the campaign.
         prev_sanitize = set_default_sanitize(sanitize)
+        prev_crypto = set_default_crypto_plan(crypto) if crypto is not None \
+            else None
         try:
             if jobs == 1 or len(pending) == 1:
                 for i, exp in pending:
@@ -538,6 +564,8 @@ def run_campaign(
                                 futures[fut], fut.result()))
         finally:
             set_default_sanitize(prev_sanitize)
+            if crypto is not None:
+                set_default_crypto_plan(prev_crypto)
 
     manifest_doc["finished"] = time.time()
     if manifest_path:

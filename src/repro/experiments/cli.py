@@ -28,6 +28,24 @@ import sys
 from repro.experiments.registry import get_experiment, list_experiments, select
 
 
+#: sentinel distinguishing "no --crypto flag" from "flag failed to parse"
+_BAD_SPEC = object()
+
+
+def _parse_crypto_arg(args):
+    """Parse ``--crypto PLAN`` into a CryptoPlan (None when absent)."""
+    spec = getattr(args, "crypto", None)
+    if not spec:
+        return None
+    from repro.encmpi.plan import parse_crypto_plan
+
+    try:
+        return parse_crypto_plan(spec)
+    except ValueError as exc:
+        print(f"bad --crypto spec: {exc}", file=sys.stderr)
+        return _BAD_SPEC
+
+
 def _cmd_list(_args) -> int:
     print(f"{'id':8s} {'paper':11s} {'cost':7s} title")
     for exp in list_experiments():
@@ -43,6 +61,9 @@ def _cmd_run(args) -> int:
     exps = select(args.ids)
     if not exps:
         print("no experiments selected", file=sys.stderr)
+        return 2
+    crypto = _parse_crypto_arg(args)
+    if crypto is _BAD_SPEC:
         return 2
     out_dir = getattr(args, "output", None)
     as_json = getattr(args, "json", False)
@@ -69,6 +90,7 @@ def _cmd_run(args) -> int:
         write_artifacts=bool(out_dir),
         write_manifest=False,
         sanitize=args.sanitize,
+        crypto=crypto,
         on_start=on_start,
         on_cell=on_cell,
     )
@@ -93,6 +115,9 @@ def _cmd_campaign(args) -> int:
     exps = select(args.ids)
     if not exps:
         print("no experiments selected", file=sys.stderr)
+        return 2
+    crypto = _parse_crypto_arg(args)
+    if crypto is _BAD_SPEC:
         return 2
     cache = not args.no_cache
     print(
@@ -126,6 +151,7 @@ def _cmd_campaign(args) -> int:
         resume=args.resume,
         results_dir=args.output,
         sanitize=args.sanitize,
+        crypto=crypto,
         on_cell=on_cell,
     )
     ok = len(result.cells) - len(result.failed)
@@ -190,7 +216,10 @@ def _cmd_nas(args) -> int:
     except ValueError as exc:
         print(f"bad --faults/--resilience spec: {exc}", file=sys.stderr)
         return 2
-    perturbed = dict(faults=faults, resilience=policy)
+    crypto = _parse_crypto_arg(args)
+    if crypto is _BAD_SPEC:
+        return 2
+    perturbed = dict(faults=faults, resilience=policy, crypto=crypto)
     names = NAS_BENCHMARKS() if args.benchmark == "all" else [args.benchmark]
     for name in names:
         # the baseline column stays the calibrated clean-fabric number;
@@ -318,6 +347,14 @@ def main(argv: list[str] | None = None) -> int:
         "every simulated job: deadlock diagnosis, leaked-request "
         "tracking, nonce-reuse checks",
     )
+    run.add_argument(
+        "--crypto",
+        default=None,
+        metavar="PLAN",
+        help="default crypto plan for every encrypted workload, e.g. "
+        "'cryptmpi:chunk=256k,cores=3' or 'serial' "
+        "(see repro.encmpi.plan.parse_crypto_plan)",
+    )
     run.set_defaults(func=_cmd_run)
     campaign = sub.add_parser(
         "campaign",
@@ -364,6 +401,13 @@ def main(argv: list[str] | None = None) -> int:
         help="arm the runtime sanitizer in every executed cell (cache "
         "hits skip it; combine with --no-cache for full coverage)",
     )
+    campaign.add_argument(
+        "--crypto",
+        default=None,
+        metavar="PLAN",
+        help="default crypto plan for every encrypted workload, e.g. "
+        "'cryptmpi:chunk=256k,cores=3'; part of the cell cache key",
+    )
     campaign.set_defaults(func=_cmd_campaign)
     bench = sub.add_parser(
         "bench", help="time the substrate's hot paths (BENCH_core.json)"
@@ -409,6 +453,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SPEC",
         help="ack/retransmit policy, e.g. 'retries=6,timeout=0.001,"
         "backoff=exponential,escalation=fail' (see repro.simmpi.resilience)",
+    )
+    nas.add_argument(
+        "--crypto",
+        default=None,
+        metavar="PLAN",
+        help="crypto plan for the encrypted run, e.g. "
+        "'cryptmpi:chunk=256k,cores=3' (see repro.encmpi.plan)",
     )
     nas.set_defaults(func=_cmd_nas)
     analyze = sub.add_parser(

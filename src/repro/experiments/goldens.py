@@ -170,8 +170,11 @@ def run_golden(
         )
     security = None
     if spec.encrypted:
+        # explicit serial plan: golden digests must not move under a
+        # process-wide default plan (campaign --crypto)
         security = api.SecurityConfig(
-            nonce_strategy="counter", crypto_mode="real", backend=backend
+            nonce_strategy="counter", backend=backend,
+            crypto=api.CryptoPlan(bytework="real"),
         )
     result = api.run_job(
         spec.build(spec.size),

@@ -14,9 +14,11 @@ from typing import Callable, Iterable
 
 from repro.experiments import figures, tables
 from repro.experiments.report import Artifact
+from repro.experiments.cryptmpi import cryptmpi
 from repro.experiments.extras import unreported_collectives
 from repro.experiments.resilience import resilience
 from repro.experiments.scalability import scalability
+from repro.models.cpu import ClusterSpec
 
 
 @dataclass(frozen=True)
@@ -28,6 +30,10 @@ class Experiment:
     #: rough single-run wall-clock on one core: "fast" < 10 s,
     #: "medium" < 2 min, "slow" >= 2 min
     cost: str
+    #: cluster shape the runner simulates when it deviates from the
+    #: paper's 8x8 testbed; part of the campaign cache key
+    #: (repro.experiments.campaign.experiment_config_digest)
+    cluster: ClusterSpec | None = None
 
 
 def _reg() -> dict[str, Experiment]:
@@ -74,6 +80,14 @@ def _reg() -> dict[str, Experiment]:
             "Goodput/latency under injected faults, ack/retransmit",
             resilience,
             "medium",
+        ),
+        Experiment(
+            "cryptmpi",
+            "§V-C ext.",
+            "Pipelined (CryptMPI-style) vs serial encryption",
+            cryptmpi,
+            "medium",
+            cluster=ClusterSpec(nodes=2, cores_per_node=8),
         ),
     ]
     return {e.id: e for e in entries}

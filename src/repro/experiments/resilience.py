@@ -15,7 +15,7 @@ byte-identical artifacts — the property ``make check-resilience`` pins.
 
 from __future__ import annotations
 
-from repro.encmpi import SecurityConfig
+from repro.encmpi import CryptoPlan, SecurityConfig
 from repro.experiments.report import Artifact
 from repro.models.cpu import ClusterSpec
 from repro.simmpi.faults import FaultPlan
@@ -56,9 +56,11 @@ POLICY_CELLS = (
 
 _SECURITY = SecurityConfig(
     library="boringssl",
-    crypto_mode="real",
     nonce_strategy="counter",
     replay_window=64,
+    # pinned serial plan: the fault sweep measures the retransmit layer,
+    # not the pipelining discipline, and its artifacts are byte-pinned
+    crypto=CryptoPlan(bytework="real"),
 )
 
 

@@ -7,7 +7,12 @@ collective runs pin exactly one rank per core.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from dataclasses import dataclass
+
+if TYPE_CHECKING:
+    from repro.des.process import Scheduler, SimEvent
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,113 @@ class ClusterSpec:
         return [
             r for r in range(nranks) if self.node_of(r, nranks, placement) == node
         ]
+
+    def helpers_on_node(self, node: int, nranks: int, placement: str = "block") -> int:
+        """Cores of *node* not pinned to a rank — the helper pool the
+        pipelined-encryption extension schedules chunk work onto."""
+        return self.cores_per_node - len(self.ranks_on_node(node, nranks, placement))
+
+    def core_allocator(
+        self,
+        scheduler: "Scheduler",
+        node: int,
+        nranks: int,
+        placement: str = "block",
+        recorder=None,
+    ) -> "CoreAllocator":
+        """Build the schedulable helper-core pool for one node."""
+        return CoreAllocator(
+            scheduler,
+            node,
+            self.cores_per_node,
+            resident_ranks=len(self.ranks_on_node(node, nranks, placement)),
+            recorder=recorder,
+        )
+
+
+class CoreAllocator:
+    """Schedulable CPU cores of one node, charged in virtual time.
+
+    Each node's cores split statically: one *resident* core per rank
+    placed there (rank programs run on it — ``RankContext.compute``),
+    the remainder are *helpers*.  Helper work — chunk seals/opens of the
+    cryptmpi pipeline — is submitted here and served FIFO by a
+    :class:`~repro.des.resources.WorkPool`: at most ``helpers`` items
+    run concurrently, excess items queue in submission order, so the
+    completion schedule (and therefore the trace digest) is
+    deterministic.
+
+    Every completed item emits a ``core_busy`` event on the ``cpu``
+    trace layer (node, owning rank, work kind, bytes, virtual duration)
+    when a recorder is attached — serial jobs submit nothing and their
+    traces stay byte-identical to the pre-allocator goldens.
+    """
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        node_index: int,
+        cores_per_node: int,
+        resident_ranks: int,
+        recorder=None,
+    ):
+        from repro.des.resources import WorkPool
+
+        if not 0 <= resident_ranks <= cores_per_node:
+            raise ValueError(
+                f"{resident_ranks} resident ranks on a {cores_per_node}-core node"
+            )
+        self.node_index = node_index
+        self.cores_per_node = cores_per_node
+        self.resident_ranks = resident_ranks
+        #: helper cores: the node's cores not pinned to a rank
+        self.helpers = cores_per_node - resident_ranks
+        self.recorder = recorder
+        self._pool = WorkPool(scheduler, self.helpers, f"node{node_index}.helpers")
+        #: lifetime ledger (reported by tests and the cryptmpi experiment)
+        self.jobs_run = 0
+        self.busy_seconds = 0.0
+
+    @property
+    def busy(self) -> int:
+        return self._pool.busy
+
+    @property
+    def idle_helpers(self) -> int:
+        """Helper cores free right now (queued work counts as taken)."""
+        return self._pool.idle
+
+    def submit(
+        self,
+        seconds: float,
+        *,
+        rank: int,
+        work: str,
+        nbytes: int = 0,
+        chunk: int = -1,
+        after: "SimEvent | None" = None,
+    ) -> "SimEvent":
+        """Charge *seconds* of helper-core time on behalf of *rank*.
+
+        Returns the completion :class:`~repro.des.process.SimEvent`.
+        *after* delays enqueueing until that event succeeds (the
+        per-operation helper cap of the cryptmpi pipeline).  Raises
+        ``RuntimeError`` when the node has no helpers — callers check
+        :attr:`helpers`/:attr:`idle_helpers` and fall back to computing
+        on the rank's own core.
+        """
+        done = self._pool.submit(seconds, after=after)
+
+        def _record(_ev) -> None:
+            self.jobs_run += 1
+            self.busy_seconds += seconds
+            rec = self.recorder
+            if rec is not None:
+                rec.emit("cpu", "core_busy", rank, node=self.node_index,
+                         work=work, bytes=nbytes, chunk=chunk, dur=seconds)
+
+        done.callbacks.append(_record)
+        return done
 
 
 #: The paper's testbed.

@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import Any
+
 from repro.des.flows import Capacity, FlowNetwork
 from repro.des.process import Scheduler
 from repro.des.resources import Resource
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import ClusterSpec, CoreAllocator
 from repro.models.network import NetworkModel
 
 
@@ -20,6 +22,10 @@ class Node:
     ingress: Capacity
     nic_engine: Resource
     cores: Resource
+    #: schedulable helper cores (repro.models.cpu.CoreAllocator): the
+    #: node's cores not pinned to a resident rank, charged virtual time
+    #: by the cryptmpi pipelined-encryption path
+    alloc: CoreAllocator
     #: ranks currently injecting messages (drives the NIC contention model)
     active_senders: int = 0
 
@@ -33,6 +39,9 @@ class ClusterRuntime:
     network: NetworkModel
     nranks: int
     placement: str = "block"
+    #: TraceRecorder of the job (None when tracing is off); core
+    #: allocators emit their core_busy events through it
+    recorder: Any = None
     nodes: list[Node] = field(init=False)
     flownet: FlowNetwork = field(init=False)
     _pair_caps: dict[tuple[int, int], Capacity] = field(init=False, default_factory=dict)
@@ -47,6 +56,9 @@ class ClusterRuntime:
                 ingress=Capacity(f"node{i}.ingress", self.network.nic_capacity),
                 nic_engine=Resource(self.scheduler, 1, f"node{i}.nic"),
                 cores=Resource(self.scheduler, self.spec.cores_per_node, f"node{i}.cores"),
+                alloc=self.spec.core_allocator(
+                    self.scheduler, i, self.nranks, self.placement, self.recorder
+                ),
             )
             for i in range(self.spec.nodes)
         ]

@@ -126,8 +126,11 @@ class CommTrace:
 # structured event tracing
 # ---------------------------------------------------------------------------
 
-#: The layers that emit events, in stack order.
-TRACE_LAYERS = ("engine", "transport", "collective", "aead", "encmpi")
+#: The layers that emit events, in stack order.  ``cpu`` carries the
+#: core_busy events of the per-node helper-core allocator
+#: (repro.models.cpu.CoreAllocator); serial jobs emit none, keeping
+#: their digests identical to pre-allocator goldens.
+TRACE_LAYERS = ("engine", "transport", "collective", "aead", "encmpi", "cpu")
 
 #: Event fields excluded from the canonical (digest) serialization.
 #: ``backend`` names which AEAD implementation computed the bytes — a
@@ -181,6 +184,10 @@ class RankCounters:
     nacks: int = 0
     acks: int = 0
     gave_ups: int = 0
+    # cryptmpi pipelined encryption (repro.encmpi.pipeline); zero unless
+    # the job runs with CryptoPlan(mode="cryptmpi")
+    chunk_seals: int = 0
+    chunk_opens: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)

@@ -72,6 +72,12 @@ class RankContext:
         encryption extension uses this; see encmpi.pipeline)."""
         return ExtraCores(self._scheduler, self._cluster, self.rank)
 
+    @property
+    def node_alloc(self):
+        """The rank's node-local :class:`~repro.models.cpu.CoreAllocator`
+        (helper cores the cryptmpi pipeline schedules chunk work onto)."""
+        return self._cluster.node_of(self.rank).alloc
+
 
 class ExtraCores:
     """Best-effort claim on idle cores of the rank's node."""
@@ -82,8 +88,17 @@ class ExtraCores:
 
     @property
     def idle(self) -> int:
-        """Cores on this node not currently held by a rank or helper."""
-        return self._node.cores.capacity - self._node.cores.in_use
+        """Helper cores on this node free right now.
+
+        Answered by the node's :class:`~repro.models.cpu.CoreAllocator`:
+        one core per resident rank is pinned for that rank's lifetime
+        (never idle, even between its bursts), and helpers already busy
+        — or queued — with pipeline work are not double-counted.  This
+        is what the static wave estimate of
+        :class:`repro.encmpi.pipeline.PipelinedCrypto` consults, so an
+        oversubscribed node (ranks on every core) correctly reports 0.
+        """
+        return self._node.alloc.idle_helpers
 
 
 @dataclass
@@ -155,8 +170,9 @@ def run_program(
 
     net = get_network(network) if isinstance(network, str) else network
     scheduler = Scheduler()
-    runtime = ClusterRuntime(scheduler, cluster, net, nranks, placement)
     recorder, comm_trace = resolve_trace(trace)
+    runtime = ClusterRuntime(scheduler, cluster, net, nranks, placement,
+                             recorder)
     if recorder is not None:
         recorder.attach(scheduler)
         recorder.emit("engine", "job_start", -1, nranks=nranks,

@@ -9,7 +9,10 @@ reported.  The +28 encrypted-wire bytes are excluded, as in the paper.
 
 from __future__ import annotations
 
-from repro.encmpi import EncryptedComm, SecurityConfig
+from dataclasses import replace
+
+from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
+from repro.encmpi.plan import apply_default_plan
 from repro.models.cpu import ClusterSpec
 from repro.simmpi import run_program
 
@@ -30,8 +33,13 @@ def multipair_aggregate_throughput(
     key_bits: int = 256,
     window: int = DEFAULT_WINDOW,
     iters: int = DEFAULT_ITERS,
+    crypto: CryptoPlan | None = None,
 ) -> float:
-    """Aggregate uni-directional throughput in bytes/s over all pairs."""
+    """Aggregate uni-directional throughput in bytes/s over all pairs.
+
+    *crypto* selects the encrypted runs' pipelining discipline (see
+    :func:`repro.workloads.pingpong.pingpong_oneway_time`).
+    """
     if not 1 <= pairs <= MULTIPAIR_CLUSTER.cores_per_node:
         raise ValueError(
             f"pairs must be in [1, {MULTIPAIR_CLUSTER.cores_per_node}], got {pairs}"
@@ -53,10 +61,14 @@ def multipair_aggregate_throughput(
             irecv = lambda s: comm.irecv(s, 0)
             waitall = comm.waitall
         else:
+            base = crypto if crypto is not None \
+                else apply_default_plan(CryptoPlan())
             enc = EncryptedComm(
                 ctx,
                 SecurityConfig(
-                    library=library, key_bits=key_bits, crypto_mode="modeled"
+                    key_bits=key_bits,
+                    crypto=replace(base, library=library,
+                                   bytework="modeled"),
                 ),
             )
             isend = lambda d, p: enc.isend(p, d, tag=0)

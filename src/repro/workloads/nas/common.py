@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable
 
-from repro.encmpi import EncryptedComm, SecurityConfig
+from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
+from repro.encmpi.plan import apply_default_plan
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
 from repro.simmpi import RankContext, run_program
 from repro.simmpi.faults import FaultPlan
@@ -167,6 +168,7 @@ def _simulate_comm_time(
     sim_iters: int,
     faults: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    crypto: CryptoPlan | None = None,
 ) -> float:
     """Virtual seconds for `sim_iters` iterations of pure communication."""
     bench = get_benchmark(name)
@@ -176,7 +178,10 @@ def _simulate_comm_time(
         if library is not None:
             enc = EncryptedComm(
                 ctx,
-                SecurityConfig(library=library, crypto_mode="modeled"),
+                SecurityConfig(crypto=replace(
+                    crypto if crypto is not None else CryptoPlan(),
+                    library=library, bytework="modeled",
+                )),
                 crypto_slowdown=bench.crypto_slowdown(),
             )
         comm = NasComm(ctx, enc)
@@ -207,6 +212,7 @@ def run_nas(
     sim_iters: int = 1,
     faults: FaultPlan | None = None,
     resilience: ResiliencePolicy | None = None,
+    crypto: CryptoPlan | None = None,
 ) -> NasResult:
     """Predicted class-C total time for one benchmark configuration.
 
@@ -219,14 +225,29 @@ def run_nas(
     completes on a lossy fabric.  Both are frozen values and so part of
     the memoization key; the fault-free compute calibration below is
     always taken from a clean baseline run.
+
+    *crypto* (a :class:`CryptoPlan`) sets the encrypted runs'
+    pipelining discipline; ``None`` adopts the process-wide default
+    (campaign ``--crypto``).  The *effective* plan — never the mutable
+    default — is part of the memoization key, so flipping the default
+    mid-process can't serve stale times.
     """
     bench = get_benchmark(name)
+    # Resolve the effective plan up front (baseline cells carry no
+    # crypto at all, so they memoize independently of any plan).
+    effective_crypto = None
+    if library is not None:
+        effective_crypto = replace(
+            crypto if crypto is not None
+            else apply_default_plan(CryptoPlan()),
+            library=library, bytework="modeled",
+        )
     key = (name, network, library, nranks, cluster, sim_iters,
-           faults, resilience)
+           faults, resilience, effective_crypto)
     if key not in _comm_time_cache:
         _comm_time_cache[key] = _simulate_comm_time(
             name, network, library, nranks, cluster, sim_iters,
-            faults=faults, resilience=resilience,
+            faults=faults, resilience=resilience, crypto=effective_crypto,
         )
     comm_per_iter = _comm_time_cache[key] / sim_iters
     comm_total = comm_per_iter * bench.iterations

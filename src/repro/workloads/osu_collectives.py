@@ -9,7 +9,8 @@ deterministic so a couple of post-warmup iterations give the same mean.
 
 from __future__ import annotations
 
-from repro.encmpi import EncryptedComm, SecurityConfig
+from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
+from repro.encmpi.plan import apply_default_plan
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
 from repro.simmpi import run_program
 
@@ -49,7 +50,10 @@ def collective_latency(
             enc = EncryptedComm(
                 ctx,
                 SecurityConfig(
-                    library=library, key_bits=key_bits, crypto_mode="modeled"
+                    key_bits=key_bits,
+                    crypto=apply_default_plan(
+                        CryptoPlan(library=library, bytework="modeled")
+                    ),
                 ),
             )
 

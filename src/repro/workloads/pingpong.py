@@ -8,7 +8,10 @@ throughput calculation").
 
 from __future__ import annotations
 
-from repro.encmpi import EncryptedComm, SecurityConfig
+from dataclasses import replace
+
+from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
+from repro.encmpi.plan import apply_default_plan
 from repro.models.cpu import ClusterSpec
 from repro.simmpi import run_program
 
@@ -32,8 +35,16 @@ def pingpong_oneway_time(
     library: str | None = None,
     key_bits: int = 256,
     iters: int = DEFAULT_ITERS,
+    crypto: CryptoPlan | None = None,
 ) -> float:
-    """Mean one-way time in seconds; ``library=None`` is the baseline."""
+    """Mean one-way time in seconds; ``library=None`` is the baseline.
+
+    *crypto* selects the pipelining discipline of the encrypted runs
+    (serial vs cryptmpi chunking); its library/bytework are overridden
+    by the benchmark's own *library* argument and the simulator's
+    modeled byte work.  ``None`` adopts the process-wide default plan
+    (campaign ``--crypto``).
+    """
     if size < 0:
         raise ValueError(f"negative message size {size}")
     if iters < 1:
@@ -51,10 +62,14 @@ def pingpong_oneway_time(
                 return comm.recv(s, TAG_PINGPONG)[0]
 
         else:
+            base = crypto if crypto is not None \
+                else apply_default_plan(CryptoPlan())
             enc = EncryptedComm(
                 ctx,
                 SecurityConfig(
-                    library=library, key_bits=key_bits, crypto_mode="modeled"
+                    key_bits=key_bits,
+                    crypto=replace(base, library=library,
+                                   bytework="modeled"),
                 ),
             )
 
@@ -90,9 +105,11 @@ def pingpong_throughput(
     library: str | None = None,
     key_bits: int = 256,
     iters: int = DEFAULT_ITERS,
+    crypto: CryptoPlan | None = None,
 ) -> float:
     """Uni-directional throughput in bytes/s (plaintext bytes only)."""
     t = pingpong_oneway_time(
-        size, network=network, library=library, key_bits=key_bits, iters=iters
+        size, network=network, library=library, key_bits=key_bits,
+        iters=iters, crypto=crypto,
     )
     return max(size, 1) / t if size else 0.0

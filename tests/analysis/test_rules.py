@@ -166,6 +166,36 @@ def test_mpi004_matched_in_both_branches_clean():
     """) == []
 
 
+# ---------------------------------------------------------------- MPI005
+
+def test_mpi005_deprecated_crypto_mode_fires():
+    assert ids("""
+        from repro.encmpi import SecurityConfig
+
+        CFG = SecurityConfig(library="openssl", crypto_mode="modeled")
+    """) == ["MPI005"]
+
+
+def test_mpi005_fires_inside_rank_scope_too():
+    assert ids("""
+        from repro.encmpi import EncryptedComm, SecurityConfig
+
+        def step(ctx):
+            enc = EncryptedComm(ctx, SecurityConfig(crypto_mode="real"))
+    """) == ["MPI005"]
+
+
+def test_mpi005_typed_plan_is_clean():
+    assert ids("""
+        from repro.encmpi import CryptoPlan, SecurityConfig
+
+        CFG = SecurityConfig(
+            library="openssl",
+            crypto=CryptoPlan(mode="cryptmpi", bytework="modeled"),
+        )
+    """) == []
+
+
 # ---------------------------------------------------------------- DET001
 
 def test_det001_wall_clock_fires():
@@ -365,7 +395,7 @@ def test_syntax_error_becomes_finding():
 
 
 def test_every_rule_has_a_fixture_here():
-    covered = {"MPI001", "MPI002", "MPI003", "MPI004",
+    covered = {"MPI001", "MPI002", "MPI003", "MPI004", "MPI005",
                "DET001", "DET002", "DET003",
                "CRY001", "CRY002", "CRY003"}
     assert {r.id for r in all_rules()} == covered

@@ -163,3 +163,64 @@ def test_sweep_accepts_options_bundle():
     )
     assert loose[0].result.duration == bundled[0].result.duration
     assert loose[0].result.resilience == bundled[0].result.resilience
+
+
+def test_cluster_options_form_equivalent_to_loose_kwarg():
+    spec = ClusterSpec(nodes=2, cores_per_node=2)
+    loose = api.run_job(_exchange_many, nranks=2, cluster=spec, trace=True)
+    bundled = api.run_job(
+        _exchange_many, nranks=2,
+        options=api.RunOptions(trace=True, cluster=spec),
+    )
+    assert loose.results == bundled.results
+    assert loose.duration == bundled.duration
+    assert loose.spans == bundled.spans
+
+
+def test_cluster_kwarg_may_accompany_an_options_bundle():
+    """cluster predates RunOptions as a job-shape kwarg, so the loose
+    spelling stays legal next to a bundle that leaves cluster unset."""
+    spec = ClusterSpec(nodes=2, cores_per_node=2)
+    mixed = api.run_job(
+        _exchange_many, nranks=2, cluster=spec,
+        options=api.RunOptions(trace=True),
+    )
+    bundled = api.run_job(
+        _exchange_many, nranks=2,
+        options=api.RunOptions(trace=True, cluster=spec),
+    )
+    assert mixed.duration == bundled.duration
+    assert mixed.results == bundled.results
+
+
+def test_cluster_specified_twice_is_an_error():
+    spec = ClusterSpec(nodes=2, cores_per_node=2)
+    with pytest.raises(TypeError, match="cluster specified twice"):
+        api.run_job(
+            _workload, nranks=2, cluster=spec,
+            options=api.RunOptions(cluster=CLUSTER),
+        )
+
+
+def test_cluster_typechecks_in_both_spellings():
+    with pytest.raises(TypeError, match="ClusterSpec"):
+        api.RunOptions(cluster="2x8")
+    with pytest.raises(TypeError, match="ClusterSpec"):
+        api.run_job(_workload, nranks=2, cluster="2x8",
+                    options=api.RunOptions())
+
+
+def test_cluster_shape_changes_the_simulation():
+    """The spec is load-bearing: intra-node vs cross-node placement of
+    the same two ranks must produce different timings."""
+    one_node = api.run_job(
+        _exchange_many, nranks=2,
+        options=api.RunOptions(cluster=ClusterSpec(nodes=1,
+                                                   cores_per_node=2)),
+    )
+    two_nodes = api.run_job(
+        _exchange_many, nranks=2,
+        options=api.RunOptions(cluster=ClusterSpec(nodes=2,
+                                                   cores_per_node=2)),
+    )
+    assert one_node.duration != two_nodes.duration

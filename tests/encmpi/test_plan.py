@@ -1,0 +1,150 @@
+"""The CryptoPlan facade: validation, the CLI string form, the
+process-wide default, and the SecurityConfig migration shims.
+
+The redesign's contract mirrors the RunOptions one: the frozen typed
+plan is equivalent to the loose ``crypto_mode=`` spelling it replaces,
+the deprecated spelling warns exactly once per process, and conflicting
+combinations are errors, not silent precedence.
+"""
+
+import warnings
+
+import pytest
+
+from repro.encmpi import CryptoPlan, SecurityConfig, parse_crypto_plan
+from repro.encmpi import plan as plan_mod
+
+
+@pytest.fixture(autouse=True)
+def _fresh_plan_state():
+    """Each test sees the one-shot warnings anew and no default plan."""
+    plan_mod._warned.clear()
+    prev = plan_mod.set_default_crypto_plan(None)
+    yield
+    plan_mod._warned.clear()
+    plan_mod.set_default_crypto_plan(prev)
+
+
+def test_default_plan_is_the_papers_serial_discipline():
+    plan = CryptoPlan()
+    assert plan.mode == "serial"
+    assert not plan.pipelined
+    assert plan.bytework == "real"
+    assert CryptoPlan(mode="cryptmpi").pipelined
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        (dict(mode="threaded"), "mode"),
+        (dict(chunk_bytes=0), "chunk_bytes"),
+        (dict(helper_cores=-1), "helper_cores"),
+        (dict(bytework="emulated"), "bytework"),
+        (dict(library="nss"), "library"),
+    ],
+)
+def test_plan_validation(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        CryptoPlan(**kwargs)
+
+
+def test_plan_is_frozen():
+    with pytest.raises(AttributeError):
+        CryptoPlan().mode = "cryptmpi"
+
+
+def test_parse_crypto_plan_string_form():
+    plan = parse_crypto_plan("cryptmpi:chunk=256k,cores=3")
+    assert plan == CryptoPlan(mode="cryptmpi", chunk_bytes=256 * 1024,
+                              helper_cores=3)
+    assert parse_crypto_plan("serial") == CryptoPlan()
+    assert parse_crypto_plan("cryptmpi:cores=auto").helper_cores is None
+    got = parse_crypto_plan("cryptmpi:library=openssl,bytework=modeled")
+    assert (got.library, got.bytework) == ("openssl", "modeled")
+
+
+def test_parse_round_trips_the_canonical_token():
+    for plan in (
+        CryptoPlan(),
+        CryptoPlan(mode="cryptmpi", chunk_bytes=64 * 1024, helper_cores=2,
+                   library="libsodium", bytework="modeled"),
+    ):
+        assert parse_crypto_plan(plan.token()) == plan
+
+
+@pytest.mark.parametrize(
+    "spec, match",
+    [
+        ("turbo", "unknown crypto plan mode"),
+        ("cryptmpi:chunk", "key=value"),
+        ("serial:threads=4", "unknown crypto option"),
+    ],
+)
+def test_parse_errors_name_the_valid_forms(spec, match):
+    with pytest.raises(ValueError, match=match):
+        parse_crypto_plan(spec)
+
+
+def test_default_plan_overlays_geometry_only():
+    plan_mod.set_default_crypto_plan(
+        parse_crypto_plan("cryptmpi:chunk=128k,cores=2,library=openssl")
+    )
+    cfg = SecurityConfig(library="cryptopp", crypto=None)
+    # geometry follows the default; library/bytework stay the config's
+    assert cfg.crypto.mode == "cryptmpi"
+    assert cfg.crypto.chunk_bytes == 128 * 1024
+    assert cfg.crypto.helper_cores == 2
+    assert cfg.crypto.library == "cryptopp"
+    assert cfg.crypto.bytework == "real"
+    # an explicit plan bypasses the process-wide default entirely
+    pinned = SecurityConfig(crypto=CryptoPlan())
+    assert pinned.crypto == CryptoPlan()
+
+
+def test_set_default_plan_returns_previous_and_typechecks():
+    first = parse_crypto_plan("cryptmpi")
+    assert plan_mod.set_default_crypto_plan(first) is None
+    assert plan_mod.set_default_crypto_plan(None) == first
+    with pytest.raises(TypeError, match="CryptoPlan"):
+        plan_mod.set_default_crypto_plan("cryptmpi")
+
+
+def test_deprecated_crypto_mode_equals_new_spelling():
+    with pytest.warns(DeprecationWarning, match="crypto_mode"):
+        old = SecurityConfig(library="openssl", crypto_mode="modeled")
+    new = SecurityConfig(
+        crypto=CryptoPlan(library="openssl", bytework="modeled")
+    )
+    assert old == new
+    assert old.crypto_mode == "modeled"  # the read-only mirror survives
+
+
+def test_deprecated_crypto_mode_warns_exactly_once():
+    with pytest.warns(DeprecationWarning):
+        SecurityConfig(crypto_mode="real")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        SecurityConfig(crypto_mode="real")  # ledger already holds it
+
+
+def test_conflicting_bytework_spellings_are_an_error():
+    with pytest.raises(ValueError, match="conflicting byte-work"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            SecurityConfig(crypto_mode="real",
+                           crypto=CryptoPlan(bytework="modeled"))
+
+
+def test_conflicting_libraries_are_an_error():
+    with pytest.raises(ValueError, match="conflicting libraries"):
+        SecurityConfig(library="openssl",
+                       crypto=CryptoPlan(library="libsodium"))
+
+
+def test_library_reconciliation_fills_the_defaulted_side():
+    via_config = SecurityConfig(library="openssl", crypto=CryptoPlan())
+    assert via_config.crypto.library == "openssl"
+    assert via_config.library == "openssl"
+    via_plan = SecurityConfig(crypto=CryptoPlan(library="openssl"))
+    assert via_plan.library == "openssl"
+    assert via_config == via_plan

@@ -216,3 +216,41 @@ def test_interrupted_campaign_resumes_only_missing_cells(tmp_path,
     assert second.cell("fig2").cached  # served from the cache
     assert second.cell("table1").cached is False
     assert executed == ["table1"]  # only the missing cell executed
+
+
+def test_experiment_digest_salted_by_crypto_plan_and_cluster():
+    """The campaign-wide CryptoPlan and an experiment's cluster override
+    are both cache-key inputs: serial and cryptmpi runs of one cell, or
+    the same cell on different node shapes, occupy distinct entries."""
+    from dataclasses import replace
+
+    from repro.encmpi import CryptoPlan, parse_crypto_plan
+    from repro.models.cpu import ClusterSpec
+
+    exp = get_experiment("fig2")
+    base = experiment_config_digest(exp)
+    assert base == experiment_config_digest(exp)  # stable
+
+    piped = parse_crypto_plan("cryptmpi:chunk=256k,cores=3")
+    assert experiment_config_digest(exp, piped) != base
+    assert experiment_config_digest(exp, CryptoPlan()) != base
+    assert (experiment_config_digest(exp, piped)
+            != experiment_config_digest(exp, CryptoPlan()))
+    # equal plans, however spelled, land on the same entry
+    assert (experiment_config_digest(exp, piped)
+            == experiment_config_digest(
+                exp, parse_crypto_plan(piped.token())))
+
+    wide = replace(exp, cluster=ClusterSpec(nodes=4, cores_per_node=8))
+    assert experiment_config_digest(wide) != base
+    assert (experiment_config_digest(wide, piped)
+            != experiment_config_digest(exp, piped))
+
+
+def test_job_digest_misses_on_cluster_shape():
+    from repro.models.cpu import ClusterSpec
+
+    base = job_config_digest(_workload, nranks=4)
+    assert base != job_config_digest(
+        _workload, nranks=4, cluster=ClusterSpec(nodes=2, cores_per_node=8)
+    )
