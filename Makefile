@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install check lint check-sanitize check-resilience check-cryptmpi \
-	test test-fast test-all \
+	check-predict test test-fast test-all \
 	bench bench-baseline bench-pytest \
 	trace-goldens check-tracing-overhead \
 	campaign-fast check-campaign-cache \
@@ -14,7 +14,7 @@ PYTHON ?= python
 # executes zero runners), a sanitized re-run of the fast tier, and the
 # fault-sweep determinism invariant.
 check: lint test campaign-fast check-campaign-cache check-sanitize \
-	check-resilience check-cryptmpi
+	check-resilience check-cryptmpi check-predict
 
 # Static misuse analysis (MPI protocol, determinism, crypto) over the
 # tree the repo promises to keep clean; exits nonzero on any finding.
@@ -55,6 +55,17 @@ check-cryptmpi:
 	$(PYTHON) -m repro.experiments run cryptmpi --output results/cryptmpi-b
 	diff -r results/cryptmpi-a results/cryptmpi-b
 	@echo "check-cryptmpi: two pipelined-crypto sweeps byte-identical"
+
+# Prediction-engine determinism: calibrate + validate (the predict
+# experiment sweeps a ~2000-cell off-anchor grid against the simulator)
+# run twice must produce byte-identical artifacts — the closed-form fit
+# has no wall-clock or randomness in it (DET004 lints exactly that).
+check-predict:
+	rm -rf results/predict-a results/predict-b
+	$(PYTHON) -m repro.experiments run predict --output results/predict-a
+	$(PYTHON) -m repro.experiments run predict --output results/predict-b
+	diff -r results/predict-a results/predict-b
+	@echo "check-predict: two predictor validations byte-identical"
 
 install:
 	$(PYTHON) setup.py develop

@@ -44,6 +44,29 @@ def _import_aliases(mod: ModuleContext, module: str) -> tuple[set, dict]:
     return aliases, members
 
 
+def _wall_clock_calls(mod: ModuleContext, calls):
+    """Yield ``(node, what)`` for every wall-clock read among *calls*
+    (``time.time()``-family and ``datetime`` now/utcnow/today)."""
+    time_aliases, time_members = _import_aliases(mod, "time")
+    _dt_aliases, dt_members = _import_aliases(mod, "datetime")
+    for node in calls:
+        name = call_name(node)
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name) and base.id in time_aliases \
+                    and name in _TIME_FNS:
+                yield (node, f"time.{name}()")
+            elif name in _DATETIME_FNS and "datetime" in ast.dump(base):
+                yield (node, f"datetime {name}()")
+        elif isinstance(func, ast.Name):
+            if time_members.get(func.id) in _TIME_FNS:
+                yield (node, f"time.{time_members[func.id]}()")
+            elif dt_members.get(func.id) == "datetime" and \
+                    name in _DATETIME_FNS:
+                yield (node, f"datetime.{name}()")
+
+
 @rule(
     "DET001",
     "wall clock in rank code",
@@ -56,25 +79,8 @@ def _import_aliases(mod: ModuleContext, module: str) -> tuple[set, dict]:
               "traces assume timestamps are pure functions of the job",
 )
 def check_wall_clock(mod: ModuleContext):
-    time_aliases, time_members = _import_aliases(mod, "time")
-    _dt_aliases, dt_members = _import_aliases(mod, "datetime")
-    for node in mod.walk_rank(ast.Call):
-        name = call_name(node)
-        func = node.func
-        if isinstance(func, ast.Attribute):
-            base = func.value
-            if isinstance(base, ast.Name) and base.id in time_aliases \
-                    and name in _TIME_FNS:
-                yield (node, f"time.{name}() in a rank program")
-            elif name in _DATETIME_FNS and "datetime" in ast.dump(base):
-                yield (node, f"datetime {name}() in a rank program")
-        elif isinstance(func, ast.Name):
-            if time_members.get(func.id) in _TIME_FNS:
-                yield (node, f"time.{time_members[func.id]}() in a rank "
-                             "program")
-            elif dt_members.get(func.id) == "datetime" and \
-                    name in _DATETIME_FNS:
-                yield (node, f"datetime.{name}() in a rank program")
+    for node, what in _wall_clock_calls(mod, mod.walk_rank(ast.Call)):
+        yield (node, f"{what} in a rank program")
 
 
 @rule(
@@ -146,3 +152,31 @@ def check_set_iteration(mod: ModuleContext):
                     _is_set_expr(node.iter):
                 # comprehension nodes carry no lineno; anchor on iter
                 yield (node.iter, "comprehension over a set expression")
+
+
+#: modules whose every code path is a calibration/fit path of the
+#: analytical prediction engine (matched against the lint path)
+_FIT_PATH_PARTS = ("models/predict",)
+
+
+@rule(
+    "DET004",
+    "wall clock in a prediction fit path",
+    severity="error",
+    summary="the prediction engine reads the host's wall clock — "
+            "fitted coefficients must be pure functions of the anchor "
+            "cells, or the frozen model differs run to run",
+    hint="derive every fitted quantity from simulated anchor values; "
+         "timestamps belong to the caller, stamped after calibrate() "
+         "returns",
+    grounding="PredictionModel.token() is hashed into a committed "
+              "golden digest and `make check-predict` diffs two runs "
+              "byte for byte",
+)
+def check_predict_wall_clock(mod: ModuleContext):
+    path = mod.path.replace("\\", "/")
+    if not any(part in path for part in _FIT_PATH_PARTS):
+        return
+    calls = (n for n in ast.walk(mod.tree) if isinstance(n, ast.Call))
+    for node, what in _wall_clock_calls(mod, calls):
+        yield (node, f"{what} in a prediction fit path")

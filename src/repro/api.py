@@ -42,10 +42,12 @@ from repro.experiments.registry import (
 )
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
 from repro.models.network import NetworkModel
-from repro.simmpi.faults import FaultInjector, FaultPlan
+from repro.models.predict import Prediction, PredictionModel
+from repro.simmpi.faults import FaultInjector, FaultPlan, parse_fault_plan
 from repro.simmpi.resilience import (
     ResiliencePolicy,
     ResilienceReport,
+    parse_resilience_policy,
 )
 from repro.simmpi.tracing import (
     CommTrace,
@@ -66,17 +68,23 @@ __all__ = [
     "FaultPlan",
     "JobResult",
     "PAPER_CLUSTER",
+    "Prediction",
+    "PredictionModel",
     "ResiliencePolicy",
     "ResilienceReport",
     "RunOptions",
     "SecurityConfig",
     "SweepPoint",
     "TraceMode",
+    "calibrate_predictor",
     "get_experiment",
     "lint_job",
     "list_experiments",
     "parse_crypto_plan",
+    "parse_fault_plan",
+    "parse_resilience_policy",
     "parse_trace_mode",
+    "predict",
     "run_campaign",
     "run_job",
     "sweep",
@@ -467,6 +475,55 @@ def lint_job(workload: Callable[[RankContext], Any]):
     from repro.analysis import lint_callable
 
     return lint_callable(workload)
+
+
+def calibrate_predictor(
+    *, cache_dir: str | None = "results/cache", force: bool = False
+) -> PredictionModel:
+    """Fit (or fetch) the analytical prediction engine; the facade's
+    entry to :func:`repro.models.predict.calibrate`.
+
+    Runs the deterministic anchor-cell set through the simulator (each
+    cell memoized in the campaign result cache under *cache_dir*;
+    ``None`` simulates fresh), fits the per-library crypto curves, the
+    Hockney-style wire curves, the max-min-fair pair-sharing factors,
+    and the pipelined-mode corrections, and returns a frozen
+    :class:`PredictionModel`.  The fitted model is memoized per
+    process; *force* refits.  Two calibrations from the same anchors
+    produce byte-identical :meth:`PredictionModel.token` strings.
+    """
+    from repro.models.predict import calibrate
+
+    return calibrate(cache_dir=cache_dir, force=force)
+
+
+def predict(
+    *,
+    library: str | None = None,
+    fabric: str = "ethernet",
+    size: int = 1,
+    pairs: int = 1,
+    plan: CryptoPlan | None = None,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
+    cache_dir: str | None = "results/cache",
+) -> Prediction:
+    """Answer one cell analytically — microseconds, no simulation.
+
+    Calibrates the prediction engine on first use (simulating the
+    anchor cells once, cached under *cache_dir*), then evaluates the
+    closed-form model: ``pairs == 1`` predicts the ping-pong mean
+    one-way time, ``pairs > 1`` the multipair steady-state goodput;
+    *plan* selects serial vs cryptmpi pipelined sealing; *faults* +
+    *resilience* add the expected-retransmission overhead.  Every
+    :class:`Prediction` carries a confidence bound validated against
+    held-out simulated cells (see the ``predict`` registry experiment).
+    """
+    model = calibrate_predictor(cache_dir=cache_dir)
+    return model.predict(
+        library=library, fabric=fabric, size=size, pairs=pairs,
+        plan=plan, faults=faults, resilience=resilience,
+    )
 
 
 def run_campaign(

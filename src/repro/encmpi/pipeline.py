@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.crypto.aead import WIRE_OVERHEAD
 from repro.crypto.errors import AuthenticationError
 from repro.encmpi.replay import ReplayError
+from repro.models.cpu import pipeline_waves
 from repro.models.cryptolib import CryptoLibraryProfile
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, OpaquePayload
 from repro.simmpi.request import Status
@@ -85,7 +86,7 @@ def plan_pipeline(
     if size <= chunk_bytes or cores == 1:
         return PipelinePlan(size, chunk_bytes, cores, 1, 1, serial, serial)
     nchunks = math.ceil(size / chunk_bytes)
-    waves = math.ceil(nchunks / cores)
+    waves = pipeline_waves(nchunks, cores)
     # Every chunk pays the per-call framing overhead; the last chunk may
     # be short but scheduling is dominated by the full chunks.
     per_chunk = profile.encrypt_time(min(chunk_bytes, size))

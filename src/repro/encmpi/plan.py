@@ -99,7 +99,8 @@ def parse_crypto_plan(spec: str) -> CryptoPlan:
         parse_crypto_plan("cryptmpi:library=openssl,bytework=modeled")
 
     Unknown modes or keys raise :class:`ValueError` naming the valid
-    ones, like :func:`~repro.simmpi.faults.parse_fault_plan`.
+    ones, like :func:`~repro.simmpi.faults.parse_fault_plan`; a key
+    given twice raises instead of silently keeping the last value.
     """
     from repro.util.units import parse_size
 
@@ -111,6 +112,7 @@ def parse_crypto_plan(spec: str) -> CryptoPlan:
             + ", ".join(CRYPTO_PLAN_MODES)
         )
     kwargs: dict = {"mode": mode}
+    seen: set[str] = set()
     for part in filter(None, (p.strip() for p in rest.split(","))):
         key, sep, value = part.partition("=")
         if not sep:
@@ -118,6 +120,12 @@ def parse_crypto_plan(spec: str) -> CryptoPlan:
                 f"malformed crypto option {part!r} (need key=value)"
             )
         key, value = key.strip(), value.strip()
+        if key in seen:
+            raise ValueError(
+                f"duplicate crypto option {key!r}; each key may appear "
+                "at most once"
+            )
+        seen.add(key)
         if key == "chunk":
             kwargs["chunk_bytes"] = parse_size(value)
         elif key == "cores":

@@ -297,6 +297,88 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_predict(args) -> int:
+    from repro.models import predict as engine
+    from repro.simmpi.faults import parse_fault_plan
+    from repro.simmpi.resilience import parse_resilience_policy
+    from repro.util.units import format_rate, parse_size
+
+    if args.write_golden is not None:
+        path = args.write_golden or engine.GOLDEN_FIXTURE
+        doc = engine.write_golden(path, cache_dir=args.cache_dir)
+        print(f"model digest {doc['digest']} "
+              f"({doc['anchor_cells']} anchor cells)")
+        print(f"wrote {path}")
+        return 0
+    if args.size is None:
+        print("give a message size (e.g. 2MB), or pass --write-golden",
+              file=sys.stderr)
+        return 2
+    try:
+        size = parse_size(args.size)
+    except ValueError as exc:
+        print(f"bad size: {exc}", file=sys.stderr)
+        return 2
+    crypto = _parse_crypto_arg(args)
+    if crypto is _BAD_SPEC:
+        return 2
+    try:
+        faults = parse_fault_plan(args.faults) if args.faults else None
+        policy = (
+            parse_resilience_policy(args.resilience) if args.resilience else None
+        )
+    except ValueError as exc:
+        print(f"bad --faults/--resilience spec: {exc}", file=sys.stderr)
+        return 2
+    model = engine.calibrate(cache_dir=args.cache_dir)
+    try:
+        pred = model.predict(
+            library=args.library, fabric=args.network, size=size,
+            pairs=args.pairs, plan=crypto, faults=faults, resilience=policy,
+        )
+    except ValueError as exc:
+        print(f"bad prediction query: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json
+
+        lo, hi = pred.latency_bounds
+        print(json.dumps({
+            "fabric": args.network,
+            "library": args.library,
+            "size": size,
+            "pairs": args.pairs,
+            "latency_s": pred.latency,
+            "latency_bounds_s": [lo, hi],
+            "goodput_Bps": pred.goodput,
+            "per_pair_goodput_Bps": pred.per_pair_goodput,
+            "confidence": pred.confidence,
+            "family": pred.family,
+            "model_digest": model.digest(),
+        }, indent=2))
+        return 0
+    lo, hi = pred.latency_bounds
+    what = ("one-way latency" if args.pairs == 1
+            else "per-message interval")
+    print(
+        f"{args.network} / {args.library or 'plain'} / {args.size} "
+        f"/ pairs={args.pairs}"
+    )
+    print(
+        f"  {what:20s} {pred.latency * 1e6:,.2f} us   "
+        f"[{lo * 1e6:,.2f}, {hi * 1e6:,.2f}] "
+        f"(+-{100 * pred.confidence:.1f}%)"
+    )
+    print(
+        f"  {'goodput':20s} {format_rate(pred.goodput)}"
+        + (f"   (per pair {format_rate(pred.per_pair_goodput)})"
+           if args.pairs > 1 else "")
+    )
+    print(f"  {'model family':20s} {pred.family}   "
+          f"[digest {model.digest()}]")
+    return 0
+
+
 def _cmd_encdec_measured(_args) -> int:
     from repro.crypto.aead import available_backends
     from repro.util.units import format_bytes, format_rate
@@ -519,6 +601,69 @@ def main(argv: list[str] | None = None) -> int:
         "tests/goldens/golden_traces.json) instead of tracing one workload",
     )
     trace.set_defaults(func=_cmd_trace)
+    predict = sub.add_parser(
+        "predict",
+        help="answer one cell analytically (no simulation; see the "
+        "'predict' experiment for the validation of these numbers)",
+    )
+    predict.add_argument(
+        "size",
+        nargs="?",
+        help="message size, e.g. 2MB (omit only with --write-golden)",
+    )
+    predict.add_argument("--network", default="ethernet",
+                         choices=["ethernet", "infiniband"])
+    predict.add_argument(
+        "--library",
+        default=None,
+        help="boringssl|openssl|libsodium|cryptopp (default: plaintext "
+        "baseline)",
+    )
+    predict.add_argument(
+        "--pairs",
+        type=int,
+        default=1,
+        help="1 predicts the ping-pong one-way time; 2..8 the multipair "
+        "streaming goodput",
+    )
+    predict.add_argument(
+        "--crypto",
+        default=None,
+        metavar="PLAN",
+        help="crypto plan, e.g. 'cryptmpi:chunk=256k,cores=3' "
+        "(see repro.encmpi.plan; needs --library)",
+    )
+    predict.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="seeded fault plan, e.g. 'drop=0.05,seed=7'; pair with "
+        "--resilience (see repro.simmpi.faults)",
+    )
+    predict.add_argument(
+        "--resilience",
+        default=None,
+        metavar="SPEC",
+        help="ack/retransmit policy, e.g. 'retries=6,timeout=0.001,"
+        "backoff=exponential' (see repro.simmpi.resilience)",
+    )
+    predict.add_argument(
+        "--cache-dir",
+        default="results/cache",
+        metavar="DIR",
+        help="anchor-cell result cache (default: results/cache)",
+    )
+    predict.add_argument("--json", action="store_true",
+                         help="emit the prediction as JSON")
+    predict.add_argument(
+        "--write-golden",
+        nargs="?",
+        const="",
+        metavar="PATH",
+        help="regenerate the golden model-digest fixture (default: "
+        "tests/goldens/predict_model.json) instead of predicting",
+    )
+    predict.set_defaults(func=_cmd_predict)
     sub.add_parser(
         "encdec-measured", help="measure real AES-GCM throughput locally"
     ).set_defaults(func=_cmd_encdec_measured)

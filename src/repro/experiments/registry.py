@@ -16,6 +16,7 @@ from repro.experiments import figures, tables
 from repro.experiments.report import Artifact
 from repro.experiments.cryptmpi import cryptmpi
 from repro.experiments.extras import unreported_collectives
+from repro.experiments.predict import predict_validation
 from repro.experiments.resilience import resilience
 from repro.experiments.scalability import scalability
 from repro.models.cpu import ClusterSpec
@@ -86,6 +87,14 @@ def _reg() -> dict[str, Experiment]:
             "§V-C ext.",
             "Pipelined (CryptMPI-style) vs serial encryption",
             cryptmpi,
+            "medium",
+            cluster=ClusterSpec(nodes=2, cores_per_node=8),
+        ),
+        Experiment(
+            "predict",
+            "§V ext.",
+            "Analytical predictor vs simulator, off-anchor grid",
+            predict_validation,
             "medium",
             cluster=ClusterSpec(nodes=2, cores_per_node=8),
         ),

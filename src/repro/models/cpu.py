@@ -15,6 +15,24 @@ if TYPE_CHECKING:
     from repro.des.process import Scheduler, SimEvent
 
 
+def pipeline_waves(nchunks: int, cores: int) -> int:
+    """Waves of the chunked-crypto pipeline: ``ceil(nchunks / cores)``.
+
+    The *one* wave formula shared by the simulator's pipeline planner
+    (:func:`repro.encmpi.pipeline.plan_pipeline`) and the analytical
+    predictor (:mod:`repro.models.predict`) — extracting it here is what
+    keeps the two from drifting (pinned by
+    ``tests/models/test_cpu.py::test_wave_formula_shared``).  ``cores``
+    is the number of cores concurrently sealing/opening chunks; with
+    one core every chunk is its own wave.
+    """
+    if nchunks < 1:
+        raise ValueError(f"nchunks must be >= 1, got {nchunks}")
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    return -(-nchunks // cores)
+
+
 @dataclass(frozen=True)
 class ClusterSpec:
     """Static description of the simulated cluster."""

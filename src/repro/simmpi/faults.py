@@ -170,7 +170,8 @@ def parse_fault_plan(spec: str) -> FaultPlan:
 
     Keys: ``drop``, ``corrupt``, ``duplicate`` (rates), ``seed``,
     ``src``, ``dst``, ``tag``, ``corrupt_bit`` (ints).  Unknown keys
-    raise :class:`ValueError` naming the valid ones.
+    raise :class:`ValueError` naming the valid ones; a key given twice
+    raises instead of silently keeping the last value.
     """
     kwargs: dict = {}
     for part in filter(None, (p.strip() for p in spec.split(","))):
@@ -178,6 +179,11 @@ def parse_fault_plan(spec: str) -> FaultPlan:
         if not sep:
             raise ValueError(f"malformed fault option {part!r} (need key=value)")
         key = key.strip()
+        if key in kwargs:
+            raise ValueError(
+                f"duplicate fault option {key!r}; each key may appear "
+                "at most once"
+            )
         if key in ("drop", "corrupt", "duplicate"):
             kwargs[key] = float(value)
         elif key in ("seed", "src", "dst", "tag", "corrupt_bit"):

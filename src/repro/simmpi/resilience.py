@@ -108,7 +108,9 @@ def parse_resilience_policy(spec: str) -> ResiliencePolicy:
 
     Keys: ``retries`` (or ``max_retries``), ``timeout`` (seconds),
     ``backoff``, ``escalation``, ``factor`` (or ``backoff_factor``).
-    Unknown keys raise :class:`ValueError` naming the valid ones.
+    Unknown keys raise :class:`ValueError` naming the valid ones; a key
+    given twice — directly or through its alias, like ``retries=2,
+    max_retries=3`` — raises instead of silently keeping the last value.
     """
     kwargs: dict[str, Any] = {}
     aliases = {"retries": "max_retries", "factor": "backoff_factor"}
@@ -116,7 +118,13 @@ def parse_resilience_policy(spec: str) -> ResiliencePolicy:
         key, sep, value = part.partition("=")
         if not sep:
             raise ValueError(f"malformed resilience option {part!r} (need key=value)")
-        key = aliases.get(key.strip(), key.strip())
+        spelled = key.strip()
+        key = aliases.get(spelled, spelled)
+        if key in kwargs:
+            raise ValueError(
+                f"conflicting resilience option {spelled!r}: {key!r} was "
+                "already given (aliases count as the same key)"
+            )
         if key in ("max_retries",):
             kwargs[key] = int(value)
         elif key in ("timeout", "backoff_factor"):

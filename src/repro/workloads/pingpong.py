@@ -14,6 +14,8 @@ from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
 from repro.encmpi.plan import apply_default_plan
 from repro.models.cpu import ClusterSpec
 from repro.simmpi import run_program
+from repro.simmpi.faults import FaultPlan
+from repro.simmpi.resilience import ResiliencePolicy
 
 #: Two nodes, processes on different nodes ("All ping-pong results use
 #: two processes on different nodes", §V).
@@ -36,6 +38,8 @@ def pingpong_oneway_time(
     key_bits: int = 256,
     iters: int = DEFAULT_ITERS,
     crypto: CryptoPlan | None = None,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> float:
     """Mean one-way time in seconds; ``library=None`` is the baseline.
 
@@ -44,6 +48,13 @@ def pingpong_oneway_time(
     by the benchmark's own *library* argument and the simulator's
     modeled byte work.  ``None`` adopts the process-wide default plan
     (campaign ``--crypto``).
+
+    *faults* runs every round trip under a seeded
+    :class:`~repro.simmpi.faults.FaultPlan`; pair it with a
+    *resilience* policy so dropped envelopes are retransmitted instead
+    of deadlocking the exchange.  The mean then includes the
+    retransmission stalls — the quantity the analytical predictor's
+    expected-retransmission closed form targets.
     """
     if size < 0:
         raise ValueError(f"negative message size {size}")
@@ -94,7 +105,14 @@ def pingpong_oneway_time(
             send(0, data)
         return None
 
-    result = run_program(2, program, network=network, cluster=PINGPONG_CLUSTER)
+    result = run_program(
+        2,
+        program,
+        network=network,
+        cluster=PINGPONG_CLUSTER,
+        fault_injector=faults.build() if faults is not None else None,
+        resilience=resilience,
+    )
     return result.results[0]
 
 

@@ -77,7 +77,8 @@ def test_rules_subcommand_lists_catalog(capsys):
     assert main(["rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("MPI001", "MPI002", "MPI003", "MPI004", "DET001",
-                    "DET002", "DET003", "CRY001", "CRY002", "CRY003"):
+                    "DET002", "DET003", "DET004", "CRY001", "CRY002",
+                    "CRY003"):
         assert rule_id in out
 
 

@@ -280,6 +280,59 @@ def test_det003_sorted_iteration_clean():
     """) == []
 
 
+# ---------------------------------------------------------------- DET004
+
+FIT_PATH = "src/repro/models/predict.py"
+
+CLOCK_IN_FIT = """
+    import time
+
+    def calibrate(cache_dir=None):
+        started = time.perf_counter()
+        return started
+"""
+
+
+def path_ids(source: str, path: str) -> list[str]:
+    return sorted({f.rule for f in
+                   lint_source(textwrap.dedent(source), path)})
+
+
+def test_det004_wall_clock_in_fit_path_fires():
+    assert path_ids(CLOCK_IN_FIT, FIT_PATH) == ["DET004"]
+
+
+def test_det004_from_import_fires():
+    assert path_ids("""
+        from time import monotonic
+
+        def fit_monotone(points):
+            return monotonic()
+    """, FIT_PATH) == ["DET004"]
+
+
+def test_det004_datetime_now_fires():
+    assert path_ids("""
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+    """, FIT_PATH) == ["DET004"]
+
+
+def test_det004_outside_fit_path_clean():
+    # the same source is fine anywhere else (host-side harness code may
+    # time itself; DET001 still guards rank programs)
+    assert path_ids(CLOCK_IN_FIT, "src/repro/experiments/cli.py") == []
+
+
+def test_det004_fit_path_without_clock_clean():
+    assert path_ids("""
+        def calibrate(points):
+            return sum(v for _, v in points)
+    """, FIT_PATH) == []
+
+
 # ---------------------------------------------------------------- CRY001
 
 def test_cry001_constant_nonce_fires():
@@ -396,6 +449,6 @@ def test_syntax_error_becomes_finding():
 
 def test_every_rule_has_a_fixture_here():
     covered = {"MPI001", "MPI002", "MPI003", "MPI004", "MPI005",
-               "DET001", "DET002", "DET003",
+               "DET001", "DET002", "DET003", "DET004",
                "CRY001", "CRY002", "CRY003"}
     assert {r.id for r in all_rules()} == covered

@@ -1,0 +1,16 @@
+"""Shared fixtures for the model tests.
+
+Calibrating the prediction engine simulates ~200 anchor cells (a few
+seconds cold, instant once ``results/cache`` is warm), so the fitted
+model is built once per test session and shared by every test that
+only *reads* it.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def prediction_model():
+    from repro.models.predict import calibrate
+
+    return calibrate(cache_dir="results/cache")

@@ -1,8 +1,15 @@
-"""Cluster shape / rank placement tests."""
+"""Cluster shape / rank placement tests, plus the shared wave formula."""
+
+import math
 
 import pytest
 
-from repro.models.cpu import PAPER_CLUSTER, TWO_NODE_CLUSTER, ClusterSpec
+from repro.models.cpu import (
+    PAPER_CLUSTER,
+    TWO_NODE_CLUSTER,
+    ClusterSpec,
+    pipeline_waves,
+)
 
 
 def test_paper_cluster_shape():
@@ -62,3 +69,43 @@ def test_validation():
         PAPER_CLUSTER.node_of(0, 0)
     with pytest.raises(ValueError):
         PAPER_CLUSTER.node_of(0, 16, "random")
+
+
+def test_pipeline_waves_values():
+    assert pipeline_waves(1, 4) == 1
+    assert pipeline_waves(4, 4) == 1
+    assert pipeline_waves(5, 4) == 2
+    assert pipeline_waves(16, 7) == 3
+    assert pipeline_waves(9, 1) == 9
+
+
+def test_pipeline_waves_rejects_bad_args():
+    with pytest.raises(ValueError):
+        pipeline_waves(0, 4)
+    with pytest.raises(ValueError):
+        pipeline_waves(4, 0)
+
+
+def test_wave_formula_shared():
+    # The pipeline planner (repro.encmpi.pipeline.plan_pipeline) and the
+    # analytical predictor (repro.models.predict) both schedule chunk
+    # seals through pipeline_waves; this pins that they cannot drift
+    # apart: the planner's wave count equals the shared formula for
+    # every geometry it pipelines, and degenerates to one wave exactly
+    # when it refuses to pipeline (one core, or nothing to chunk).
+    from repro.encmpi.pipeline import plan_pipeline
+    from repro.models.cryptolib import get_profile
+
+    profile = get_profile("boringssl")
+    kib = 1024
+    for size in (4 * kib, 64 * kib, 100 * kib, 256 * kib, 1024 * kib,
+                 1024 * kib + 1, 4096 * kib):
+        for cores in (1, 2, 3, 7, 8):
+            for chunk in (64 * kib, 128 * kib, 256 * kib):
+                plan = plan_pipeline(profile, size, cores, chunk_bytes=chunk)
+                if size > chunk and cores > 1:
+                    nchunks = math.ceil(size / chunk)
+                    assert plan.nchunks == nchunks
+                    assert plan.waves == pipeline_waves(nchunks, cores)
+                else:
+                    assert plan.waves == 1
