@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install check lint check-sanitize check-resilience check-cryptmpi \
-	check-predict test test-fast test-all \
+	check-predict check-scale check-runtime-parity test test-fast test-all \
 	bench bench-baseline bench-pytest \
 	trace-goldens check-tracing-overhead \
 	campaign-fast check-campaign-cache \
@@ -14,7 +14,8 @@ PYTHON ?= python
 # executes zero runners), a sanitized re-run of the fast tier, and the
 # fault-sweep determinism invariant.
 check: lint test campaign-fast check-campaign-cache check-sanitize \
-	check-resilience check-cryptmpi check-predict
+	check-resilience check-cryptmpi check-predict check-scale \
+	check-runtime-parity
 
 # Static misuse analysis (MPI protocol, determinism, crypto) over the
 # tree the repo promises to keep clean; exits nonzero on any finding.
@@ -66,6 +67,33 @@ check-predict:
 	$(PYTHON) -m repro.experiments run predict --output results/predict-b
 	diff -r results/predict-a results/predict-b
 	@echo "check-predict: two predictor validations byte-identical"
+
+# Large-rank determinism: the scale experiment (fluid Encrypted_Alltoall
+# on the coroutine runtime) run twice must produce byte-identical
+# artifacts.  REPRO_SCALE_MAX_RANKS caps the sweep at 256 ranks so the
+# gate stays fast; the committed results/scale.* are the full 4096 run.
+check-scale:
+	rm -rf results/scale-a results/scale-b
+	REPRO_SCALE_MAX_RANKS=256 \
+		$(PYTHON) -m repro.experiments run scale --output results/scale-a
+	REPRO_SCALE_MAX_RANKS=256 \
+		$(PYTHON) -m repro.experiments run scale --output results/scale-b
+	diff -r results/scale-a results/scale-b
+	@echo "check-scale: two capped scale sweeps byte-identical"
+
+# Runtime parity: the fast experiment tier forced onto the thread
+# runtime and onto the coroutine runtime must produce byte-identical
+# artifacts — virtual time cannot depend on how rank programs are
+# scheduled.  (tests/simmpi/test_runtime_parity.py pins the same
+# invariant at golden-trace granularity.)
+check-runtime-parity:
+	rm -rf results/runtime-threads results/runtime-coroutines
+	$(PYTHON) -m repro.experiments run fast --runtime threads \
+		--output results/runtime-threads
+	$(PYTHON) -m repro.experiments run fast --runtime coroutines \
+		--output results/runtime-coroutines
+	diff -r results/runtime-threads results/runtime-coroutines
+	@echo "check-runtime-parity: fast tier byte-identical across runtimes"
 
 install:
 	$(PYTHON) setup.py develop

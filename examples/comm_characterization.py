@@ -10,12 +10,12 @@ Run:  python examples/comm_characterization.py
 """
 
 from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.simmpi import run_program
 from repro.workloads.nas.common import NasComm
 from repro.workloads.nas import get_benchmark
 
-CLUSTER = ClusterSpec(nodes=4, cores_per_node=4)
+CLUSTER = parse_cluster_spec("4x4")
 NRANKS = 16
 
 

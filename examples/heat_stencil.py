@@ -17,13 +17,13 @@ Run:  python examples/heat_stencil.py
 import numpy as np
 
 from repro.encmpi import EncryptedComm, SecurityConfig
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.simmpi import run_program
 
 GRID = 96  # global grid: GRID x GRID
 STEPS = 25
 NRANKS = 8
-CLUSTER = ClusterSpec(nodes=4, cores_per_node=2)
+CLUSTER = parse_cluster_spec("4x2")
 TAG_HALO_DOWN = 1  # halo row moving toward higher ranks
 TAG_HALO_UP = 2  # halo row moving toward lower ranks
 

@@ -16,11 +16,11 @@ Run:  python examples/key_exchange_demo.py
 
 from repro.encmpi import EncryptedComm, SecurityConfig
 from repro.encmpi.keyexchange import establish_session_key
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.simmpi import run_program
 from repro.util.units import format_time
 
-CLUSTER = ClusterSpec(nodes=4, cores_per_node=4)
+CLUSTER = parse_cluster_spec("4x4")
 NRANKS = 16
 
 

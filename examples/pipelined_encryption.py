@@ -19,13 +19,13 @@ Run:  python examples/pipelined_encryption.py
 
 from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
 from repro.encmpi.pipeline import PipelinedCrypto, plan_pipeline
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.models.cryptolib import get_profile
 from repro.simmpi import run_program
 from repro.util.units import KiB, MiB, format_time
 
 SIZE = 2 * MiB
-CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)  # 7 idle cores per node
+CLUSTER = parse_cluster_spec("2x8")  # 7 idle cores per node
 
 
 def baseline(ctx):

@@ -18,7 +18,7 @@ from repro import api
 from repro.util.units import format_time
 
 MESSAGE = b"patient-record:42;bp=120/80;diagnosis=classified" * 100
-CLUSTER = api.ClusterSpec(nodes=2, cores_per_node=4)
+CLUSTER = api.parse_cluster_spec("2x4")
 SECURITY = api.SecurityConfig(library="boringssl")
 
 

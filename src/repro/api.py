@@ -29,10 +29,16 @@ Design rules of the facade:
 
 from __future__ import annotations
 
+import inspect
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence, Union
 
+from repro.des.options import (
+    EngineOptions,
+    parse_engine_options,
+    resolve_engine_options,
+)
 from repro.encmpi.config import SecurityConfig
 from repro.encmpi.plan import CryptoPlan, parse_crypto_plan
 from repro.experiments.registry import (
@@ -40,7 +46,7 @@ from repro.experiments.registry import (
     get_experiment,
     list_experiments,
 )
-from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
+from repro.models.cpu import PAPER_CLUSTER, ClusterSpec, parse_cluster_spec
 from repro.models.network import NetworkModel
 from repro.models.predict import Prediction, PredictionModel
 from repro.simmpi.faults import FaultInjector, FaultPlan, parse_fault_plan
@@ -63,6 +69,7 @@ if TYPE_CHECKING:
 __all__ = [
     "ClusterSpec",
     "CryptoPlan",
+    "EngineOptions",
     "Experiment",
     "FaultInjector",
     "FaultPlan",
@@ -80,7 +87,9 @@ __all__ = [
     "get_experiment",
     "lint_job",
     "list_experiments",
+    "parse_cluster_spec",
     "parse_crypto_plan",
+    "parse_engine_options",
     "parse_fault_plan",
     "parse_resilience_policy",
     "parse_trace_mode",
@@ -125,6 +134,12 @@ class RunOptions:
     proper: None means the paper's testbed (:data:`PAPER_CLUSTER`), and
     the resolved spec feeds the content-addressed campaign cache key
     (:func:`repro.experiments.campaign.job_config_digest`).
+
+    ``engine`` (an :class:`EngineOptions` or a spec string like
+    ``"coroutines:max_ranks=4096"``) picks the rank runtime — the
+    coroutine scheduler or the historical thread-per-rank fallback —
+    plus the rank ceiling and the handoff checks; None defers to the
+    process-wide default (:func:`repro.des.options.set_default_engine_options`).
     """
 
     trace: TraceMode = False
@@ -132,11 +147,19 @@ class RunOptions:
     sanitize: bool | None = None
     resilience: ResiliencePolicy | None = None
     cluster: ClusterSpec | None = None
+    engine: EngineOptions | None = None
 
     def __post_init__(self) -> None:
         # normalize the trace mode up front so equality between an
         # options bundle and the loose-kwargs spelling is structural
         object.__setattr__(self, "trace", parse_trace_mode(self.trace))
+        if isinstance(self.engine, str):
+            object.__setattr__(self, "engine", parse_engine_options(self.engine))
+        if self.engine is not None and not isinstance(self.engine, EngineOptions):
+            raise TypeError(
+                f"engine must be an EngineOptions, a spec string, or None, "
+                f"got {self.engine!r}"
+            )
         if self.resilience is not None and not isinstance(
             self.resilience, ResiliencePolicy
         ):
@@ -160,8 +183,27 @@ def _resolve_options(
     sanitize: bool | None,
     resilience: ResiliencePolicy | None,
     cluster: ClusterSpec | None = None,
+    engine: EngineOptions | str | None = None,
+    runtime: str | None = None,
 ) -> RunOptions:
     """One RunOptions from the loose kwargs and/or the bundle."""
+    if runtime is not None:
+        _warn_once(
+            "runtime",
+            "runtime= is deprecated; pass engine=EngineOptions(runtime=...) "
+            "or a spec string like engine='coroutines' (or fold it into "
+            "options=RunOptions(engine=...))",
+        )
+        if engine is not None:
+            raise TypeError("pass engine= or runtime=, not both")
+        engine = parse_engine_options(runtime)
+    if isinstance(engine, str):
+        engine = parse_engine_options(engine)
+    if engine is not None and not isinstance(engine, EngineOptions):
+        raise TypeError(
+            f"engine must be an EngineOptions, a spec string, or None, "
+            f"got {engine!r}"
+        )
     if fault_injector is not None:
         _warn_once(
             "fault_injector",
@@ -189,9 +231,16 @@ def _resolve_options(
         ):
             raise TypeError(
                 "pass the run options either individually (trace=, "
-                "faults=, sanitize=, resilience=, cluster=) or bundled "
-                "via options=RunOptions(...), not both"
+                "faults=, sanitize=, resilience=, cluster=, engine=) or "
+                "bundled via options=RunOptions(...), not both"
             )
+        if engine is not None:
+            if options.engine is not None:
+                raise TypeError(
+                    "engine specified twice: as the engine= keyword and "
+                    "inside options=RunOptions(engine=...)"
+                )
+            options = replace(options, engine=engine)
         # cluster predates RunOptions as a first-class job-shape kwarg
         # (like nranks/network), so the loose spelling stays welcome
         # next to an options bundle — only a double specification is
@@ -209,7 +258,7 @@ def _resolve_options(
             return replace(options, cluster=cluster)
         return options
     return RunOptions(trace=trace, faults=faults, sanitize=sanitize,
-                      resilience=resilience, cluster=cluster)
+                      resilience=resilience, cluster=cluster, engine=engine)
 
 
 def _fresh_injector(faults: FaultSpec) -> FaultInjector | None:
@@ -283,6 +332,8 @@ def run_job(
     sanitize: bool | None = None,
     resilience: ResiliencePolicy | None = None,
     options: RunOptions | None = None,
+    engine: EngineOptions | str | None = None,
+    runtime: str | None = None,
 ) -> JobResult:
     """Run *workload* on *nranks* simulated ranks; the facade's mpiexec.
 
@@ -322,11 +373,20 @@ def run_job(
     (:data:`PAPER_CLUSTER`).
     """
     opts = _resolve_options(options, trace, faults, fault_injector,
-                            sanitize, resilience, cluster)
+                            sanitize, resilience, cluster, engine, runtime)
     trace = opts.trace
     cluster = opts.cluster if opts.cluster is not None else PAPER_CLUSTER
     if security is None:
         program = workload
+    elif inspect.isgeneratorfunction(workload):
+        from repro.encmpi.context import EncryptedComm
+
+        # the wrapper must stay a generator function so run_program's
+        # runtime="auto" still sees a coroutine-capable workload
+        def program(ctx: RankContext):
+            ctx.enc = EncryptedComm(ctx, security)
+            return (yield from workload(ctx))
+
     else:
         from repro.encmpi.context import EncryptedComm
 
@@ -344,6 +404,7 @@ def run_job(
         fault_injector=_fresh_injector(opts.faults),
         sanitize=opts.sanitize,
         resilience=opts.resilience,
+        engine=opts.engine,
     )
     return JobResult(
         results=sim.results,
@@ -372,6 +433,8 @@ def sweep(
     sanitize: bool | None = None,
     resilience: ResiliencePolicy | None = None,
     options: RunOptions | None = None,
+    engine: EngineOptions | str | None = None,
+    runtime: str | None = None,
 ) -> list[SweepPoint]:
     """Run *workload* across the (network × security) grid.
 
@@ -396,7 +459,7 @@ def sweep(
     platforms without ``fork`` the sweep silently degrades to serial.
     """
     opts = _resolve_options(options, trace, faults, fault_injector,
-                            sanitize, resilience, cluster)
+                            sanitize, resilience, cluster, engine, runtime)
     trace = opts.trace
     faults = opts.faults
     cluster = opts.cluster
@@ -440,6 +503,7 @@ def sweep(
                     sanitize=opts.sanitize,
                     resilience=opts.resilience,
                     cluster=cluster,
+                    engine=opts.engine,
                 ),
             )
 
@@ -538,6 +602,7 @@ def run_campaign(
     write_manifest: bool = True,
     sanitize: bool = False,
     crypto: CryptoPlan | None = None,
+    engine: EngineOptions | str | None = None,
 ) -> "CampaignResult":
     """Run a campaign of registry experiments; the facade's batch lane.
 
@@ -563,6 +628,12 @@ def run_campaign(
     salts every cell's cache key so serial and cryptmpi results never
     collide.
 
+    *engine* sets the process-wide default :class:`EngineOptions` (or a
+    spec string like ``"coroutines"``) the same way: every simulated
+    job in every cell executes on that rank runtime, and the options'
+    token salts the cache keys — ``make check-runtime-parity`` runs the
+    fast tier under both runtimes and byte-compares the artifacts.
+
     Returns a frozen
     :class:`repro.experiments.campaign.CampaignResult`; failures never
     raise mid-campaign, they surface in ``result.failed``.
@@ -580,4 +651,5 @@ def run_campaign(
         write_manifest=write_manifest,
         sanitize=sanitize,
         crypto=crypto,
+        engine=engine,
     )

@@ -12,8 +12,32 @@ model each in-flight message payload as a *fluid flow* with
 Whenever a flow starts or finishes, rates are recomputed with the
 classic progressive-filling algorithm, which yields the max-min fair
 allocation: all flows grow at the same rate until either their own cap
-or a saturated constraint freezes them.  Completion events are then
-rescheduled from each flow's remaining bytes and new rate.
+or a saturated constraint freezes them.
+
+The solver is **incremental**: a membership change (arrival/departure)
+only re-fills the *connected components* of the flow/capacity sharing
+graph it touches — flows in untouched components keep their rates,
+their progress anchors, and their completion times, bit for bit.  This
+is exact, not an approximation: the max-min fair allocation of one
+component depends only on that component's members, and
+:func:`_progressive_fill` is iteration-order independent (every round
+applies one shared increment, and min over floats is exact), so
+re-filling an unchanged component would reproduce the same rates to
+the last bit.  The "exact" mode (``FlowNetwork(exact=True)``) seeds
+every rebalance with *all* flows — same code path, used by the
+property tests to pin the equivalence.
+
+Two more engine-load choices matter at scale:
+
+- **lazy progress anchors** — each flow stores ``(remaining, anchored
+  at, rate)`` and is only re-anchored when its rate actually changes
+  (bit comparison); remaining bytes at any time are the closed form
+  ``remaining - rate * (t - anchor)``, which is path-independent, so
+  skipping intermediate anchor updates never changes results;
+- a **single completion event** — instead of one cancel/reschedule per
+  flow per rebalance (the former fig6 heap hot spot), the network keeps
+  one engine event targeted at the earliest completion among all flows
+  and retargets it only when that minimum moves.
 
 This is the standard flow-level abstraction used by packet-free network
 simulators; it reproduces exactly the effects the paper reports —
@@ -60,7 +84,8 @@ class Flow:
         "_remaining",
         "_rate",
         "_last_update",
-        "_completion",
+        "_completion_time",
+        "_index",
     )
 
     def __init__(
@@ -74,10 +99,17 @@ class Flow:
         self.rate_cap = rate_cap
         self.constraints = constraints
         self.done = done
+        #: bytes left at the anchor time ``_last_update``; only
+        #: re-anchored when ``_rate`` changes (lazy drain)
         self._remaining = float(size)
         self._rate = 0.0
         self._last_update = 0.0
-        self._completion: EventHandle | None = None
+        #: absolute virtual completion time under the current rate
+        #: (``inf`` while the rate is zero)
+        self._completion_time = math.inf
+        #: arrival number in the owning network — the deterministic
+        #: ordering key for completions at equal times
+        self._index = -1
 
     @property
     def rate(self) -> float:
@@ -88,12 +120,30 @@ class Flow:
 
 
 class FlowNetwork:
-    """Tracks active flows and keeps the max-min fair allocation current."""
+    """Tracks active flows and keeps the max-min fair allocation current.
 
-    def __init__(self, scheduler: Scheduler):
+    ``exact=True`` disables the dirty-component tracking: every
+    rebalance re-fills every flow (the historical behavior, same fill
+    kernel).  The property tests drive an exact and an incremental
+    network through identical schedules and assert bit-equal outcomes.
+    """
+
+    def __init__(self, scheduler: Scheduler, *, exact: bool = False):
         self._scheduler = scheduler
-        self._flows: set[Flow] = set()
+        #: insertion-ordered (dict-as-ordered-set): completion ties at
+        #: one virtual time resolve in arrival order, deterministically
+        self._flows: dict[Flow, None] = {}
         self._rebalance_pending = False
+        self._exact = exact
+        self._next_index = 0
+        #: flows whose component must be re-filled at the next rebalance
+        self._dirty: set[Flow] = set()
+        #: capacities whose member flows must be re-filled (departure
+        #: seeding is per-capacity: O(constraints), not O(neighbors))
+        self._dirty_caps: set[Capacity] = set()
+        #: the one engine event for the earliest completion
+        self._completion: EventHandle | None = None
+        self._completion_time = math.inf
 
     @property
     def active_flows(self) -> int:
@@ -119,21 +169,14 @@ class FlowNetwork:
             return done
         flow = Flow(size, rate_cap, tuple(constraints), done)
         flow._last_update = self._scheduler.now
-        self._flows.add(flow)
+        flow._index = self._next_index
+        self._next_index += 1
+        self._flows[flow] = None
         for c in flow.constraints:
             c.flows.add(flow)
+        self._dirty.add(flow)
         self._schedule_rebalance()
         return flow.done
-
-    def _finish(self, flow: Flow) -> None:
-        if flow not in self._flows:
-            return
-        self._drain(flow, final=True)
-        self._flows.discard(flow)
-        for c in flow.constraints:
-            c.flows.discard(flow)
-        flow.done.succeed(None)
-        self._schedule_rebalance()
 
     def _schedule_rebalance(self) -> None:
         """Coalesce rebalances: all membership changes at one virtual
@@ -149,42 +192,115 @@ class FlowNetwork:
         self._rebalance_pending = False
         self._rebalance()
 
-    def _drain(self, flow: Flow, final: bool = False) -> None:
-        """Account bytes sent at the current rate since the last update."""
-        now = self._scheduler.now
-        flow._remaining = flow.remaining_at(now)
-        flow._last_update = now
-        if final:
-            flow._remaining = 0.0
-
     def _rebalance(self) -> None:
-        """Recompute max-min fair rates and reschedule completions."""
+        """Re-fill every dirty component; then retarget the completion."""
         now = self._scheduler.now
-        for flow in self._flows:
-            self._drain(flow)
+        if self._exact:
+            flow_seeds: Iterable[Flow] = list(self._flows)
+            cap_seeds: Iterable[Capacity] = ()
+        else:
+            # departures may have seeded flows that finished meanwhile
+            flow_seeds = [f for f in self._dirty if f in self._flows]
+            cap_seeds = [c for c in self._dirty_caps if c.flows]
+        self._dirty.clear()
+        self._dirty_caps.clear()
+        seen: set[Flow] = set()
+        cap_seen: set[Capacity] = set()
 
-        rates = _progressive_fill(self._flows)
+        def refill(comp: set[Flow]) -> None:
+            rates = _progressive_fill(comp)
+            for f, new_rate in rates.items():
+                if new_rate == f._rate:
+                    # bit-identical rate: anchor and completion stand
+                    continue
+                f._remaining = f.remaining_at(now)
+                f._last_update = now
+                f._rate = new_rate
+                if new_rate > _EPS:
+                    f._completion_time = now + f._remaining / new_rate
+                else:
+                    # transient zero rate (cap rounding); the next
+                    # membership change will re-fill this component
+                    f._completion_time = math.inf
 
-        for flow in self._flows:
-            new_rate = rates[flow]
-            unchanged = (
-                flow._completion is not None
-                and not flow._completion.cancelled
-                and abs(new_rate - flow._rate) <= 1e-12 * max(flow._rate, 1.0)
-            )
-            flow._rate = new_rate
-            if unchanged:
+        def expand(comp: set[Flow], fstack: list[Flow],
+                   cstack: list[Capacity]) -> None:
+            # Alternating expansion over the flow/capacity bipartite
+            # graph: each capacity's membership set is walked exactly
+            # once (when the capacity is first seen), keeping discovery
+            # linear even when every flow shares one NIC direction.
+            # Discovery order is free: the fill is order-independent.
+            while fstack or cstack:
+                if fstack:
+                    f = fstack.pop()
+                    for c in f.constraints:
+                        if c not in cap_seen:
+                            cap_seen.add(c)
+                            cstack.append(c)
+                else:
+                    c = cstack.pop()
+                    for g in c.flows:
+                        if g not in comp:
+                            comp.add(g)
+                            seen.add(g)
+                            fstack.append(g)
+
+        for seed in flow_seeds:
+            if seed in seen:
                 continue
-            if flow._completion is not None:
-                flow._completion.cancel()
-                flow._completion = None
-            if flow._rate > _EPS:
-                eta = flow._remaining / flow._rate
-                flow._completion = self._scheduler.engine.schedule_at(
-                    now + eta, self._finish, flow
-                )
-            # A zero rate can only happen transiently (cap rounding); the
-            # next rebalance will reschedule.
+            comp = {seed}
+            seen.add(seed)
+            expand(comp, [seed], [])
+            refill(comp)
+        for cap in cap_seeds:
+            if cap in cap_seen:
+                continue
+            cap_seen.add(cap)
+            comp: set[Flow] = set()
+            expand(comp, [], [cap])
+            if comp:
+                refill(comp)
+        self._retarget_completion()
+
+    def _retarget_completion(self) -> None:
+        """Point the single completion event at the earliest finisher."""
+        tmin = math.inf
+        for f in self._flows:
+            if f._completion_time < tmin:
+                tmin = f._completion_time
+        if (
+            tmin == self._completion_time
+            and self._completion is not None
+            and not self._completion.cancelled
+        ):
+            return
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        self._completion_time = tmin
+        if tmin != math.inf:
+            self._completion = self._scheduler.engine.schedule_at(
+                tmin, self._fire_completions
+            )
+
+    def _fire_completions(self) -> None:
+        """Finish every flow due now (arrival order), seed their
+        neighbors dirty, and schedule the follow-up rebalance."""
+        self._completion = None
+        self._completion_time = math.inf
+        now = self._scheduler.now
+        ripe = [f for f in self._flows if f._completion_time <= now]
+        for f in ripe:
+            del self._flows[f]
+            for c in f.constraints:
+                c.flows.discard(f)
+                self._dirty_caps.add(c)
+            f._remaining = 0.0
+            f._last_update = now
+            f._rate = 0.0
+            f._completion_time = math.inf
+            f.done.succeed(None)
+        self._schedule_rebalance()
 
 
 def _progressive_fill(flows: set[Flow]) -> dict[Flow, float]:
@@ -193,8 +309,14 @@ def _progressive_fill(flows: set[Flow]) -> dict[Flow, float]:
     Per-capacity *active-flow counts* are maintained incrementally (and
     decremented as flows freeze), so each filling round is O(F·C) in the
     flows' constraint lists rather than re-scanning every capacity's
-    membership set — this runs once per membership change of the flow
-    network, i.e. on every large-message start/finish.
+    membership set.
+
+    The result is independent of the iteration order of *flows*: each
+    round applies the same shared increment (a min over floats, which
+    is exact) to every active flow, and a capacity's residual is
+    reduced by the identical value once per member — the same
+    subtraction multiset in any order.  The incremental solver's
+    component-at-a-time refills rely on this.
     """
     rates: dict[Flow, float] = dict.fromkeys(flows, 0.0)
     if not flows:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
-from repro.des.process import Scheduler, SimEvent
+from repro.des.process import Scheduler, SimEvent, _Sleep, run_blocking
 
 
 class Resource:
@@ -34,14 +34,19 @@ class Resource:
     def queued(self) -> int:
         return len(self._queue)
 
-    def acquire(self) -> None:
-        """Block the calling process until a unit is available."""
+    def co_acquire(self):
+        """Acquire a unit; generator form (the single implementation —
+        :meth:`acquire` derives the blocking spelling from it)."""
         if self._in_use < self.capacity and not self._queue:
             self._in_use += 1
             return
         grant = self._scheduler.event()
         self._queue.append(grant)
-        grant.wait()
+        yield grant
+
+    def acquire(self) -> None:
+        """Block the calling process until a unit is available."""
+        run_blocking(self._scheduler, self.co_acquire())
 
     def release(self) -> None:
         """Return one unit; wakes the longest-waiting acquirer, if any."""
@@ -62,10 +67,17 @@ class Resource:
     def __exit__(self, *exc: Any) -> None:
         self.release()
 
+    def co_execute(self, seconds: float):
+        """Generator form of :meth:`execute`."""
+        yield from self.co_acquire()
+        try:
+            yield _Sleep(seconds)
+        finally:
+            self.release()
+
     def execute(self, seconds: float) -> None:
         """Acquire a unit, hold it for *seconds* of virtual time, release."""
-        with self:
-            self._scheduler.current().sleep(seconds)
+        run_blocking(self._scheduler, self.co_execute(seconds))
 
 
 class WorkPool:

@@ -19,6 +19,7 @@ from repro.encmpi.config import SecurityConfig
 from repro.encmpi.replay import ReplayError, ReplayGuard, counter_of_nonce
 from repro.simmpi.resilience import ResilienceExhausted
 from repro.models.cryptolib import CryptoLibraryProfile, profile_for_network
+from repro.des.process import run_blocking
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, OpaquePayload
 from repro.simmpi.request import Request
 from repro.simmpi.world import RankContext
@@ -60,14 +61,18 @@ class EncryptedRequest:
         return self._inner.status
 
     def wait(self) -> bytes | None:
+        return run_blocking(self._owner.ctx._scheduler, self.co_wait())
+
+    def co_wait(self):
+        """Generator form of :meth:`wait` (the single implementation)."""
         if self.kind == "send":
-            self._inner.wait()
+            yield from self._inner.co_wait()
             return None
         if self._waited:
             return self._result
         self._waited = True
         owner = self._owner
-        value = self._inner.wait()
+        value = yield from self._inner.co_wait()
         attempts = 0
         while True:
             status = self._inner.status
@@ -77,7 +82,7 @@ class EncryptedRequest:
             try:
                 if status is not None:
                     owner._replay_check(status.source, value)
-                self._result = owner._decrypt_charged(value, aad)
+                self._result = yield from owner._co_decrypt_charged(value, aad)
                 return self._result
             except (AuthenticationError, ReplayError) as exc:
                 mgr = owner._resilience
@@ -104,7 +109,7 @@ class EncryptedRequest:
                     self._tag if self._tag is not None else ANY_TAG,
                     _require_id=decision.require_id,
                 )
-                value = self._inner.wait()
+                value = yield from self._inner.co_wait()
 
 
 class EncryptedComm:
@@ -170,9 +175,15 @@ class EncryptedComm:
     # ------------------------------------------------------------------
 
     def _encrypt_charged(self, plaintext: bytes, aad: bytes = b"") -> bytes:
+        """Blocking spelling of :meth:`_co_encrypt_charged`."""
+        return run_blocking(
+            self.ctx._scheduler, self._co_encrypt_charged(plaintext, aad)
+        )
+
+    def _co_encrypt_charged(self, plaintext: bytes, aad: bytes = b""):
         """Charge virtual encryption time and frame the message."""
         dur = self.profile.encrypt_time(len(plaintext), self.crypto_slowdown)
-        self.ctx.compute(dur)
+        yield from self.ctx.co_compute(dur)
         self.bytes_encrypted += len(plaintext)
         nonce = self._nonces.next()
         if self._san is not None:
@@ -194,9 +205,15 @@ class EncryptedComm:
         return OpaquePayload(nonce, plaintext, bytes(16))
 
     def _decrypt_charged(self, wire, aad: bytes = b"") -> bytes:
+        """Blocking spelling of :meth:`_co_decrypt_charged`."""
+        return run_blocking(
+            self.ctx._scheduler, self._co_decrypt_charged(wire, aad)
+        )
+
+    def _co_decrypt_charged(self, wire, aad: bytes = b""):
         plain_len = self._plaintext_len(wire)
         dur = self.profile.decrypt_time(plain_len, self.crypto_slowdown)
-        self.ctx.compute(dur)
+        yield from self.ctx.co_compute(dur)
         self.bytes_decrypted += plain_len
         try:
             if len(wire) < WIRE_OVERHEAD:
@@ -314,21 +331,43 @@ class EncryptedComm:
     def isend(self, data: bytes, dest: int, tag: int = 0):
         if self._pipe is not None:
             return self._pipe.isend(bytes(data), dest, tag)
+        return run_blocking(
+            self.ctx._scheduler, self._co_isend_serial(data, dest, tag)
+        )
+
+    def co_isend(self, data: bytes, dest: int, tag: int = 0):
+        """Generator form of :meth:`isend` (serial plans only)."""
+        self._check_not_pipelined("co_isend")
+        return (yield from self._co_isend_serial(data, dest, tag))
+
+    def _co_isend_serial(self, data: bytes, dest: int, tag: int = 0):
         data = bytes(data)
         aad = self._aad_for_peer(self.rank, tag)
-        wire = self._encrypt_charged(data, aad)
+        wire = yield from self._co_encrypt_charged(data, aad)
         self.messages_sent += 1
         reseal = None
         if self._resilience is not None:
             reseal = self._make_reseal(data, aad)
-        inner = self.ctx.comm.isend(
+        inner = yield from self.ctx.comm.co_isend(
             wire, dest, tag, wire_bytes=self._wire_bytes(len(data)),
             _reseal=reseal,
         )
         return EncryptedRequest(inner, self, "send")
 
+    def _check_not_pipelined(self, op: str) -> None:
+        if self._pipe is not None:
+            raise RuntimeError(
+                f"{op}: CryptoPlan(mode='cryptmpi') chunk pipelining needs "
+                "the threads runtime; run with EngineOptions("
+                "runtime='threads') or the blocking API"
+            )
+
     def send(self, data: bytes, dest: int, tag: int = 0) -> None:
         self.isend(data, dest, tag).wait()
+
+    def co_send(self, data: bytes, dest: int, tag: int = 0):
+        req = yield from self.co_isend(data, dest, tag)
+        yield from req.co_wait()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
         if self._pipe is not None:
@@ -342,9 +381,22 @@ class EncryptedComm:
         data = req.wait()
         return data, req.status
 
+    def co_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        self._check_not_pipelined("co_recv")
+        req = self.irecv(source, tag)
+        data = yield from req.co_wait()
+        return data, req.status
+
     @staticmethod
     def waitall(requests: list[EncryptedRequest]) -> list:
         return [r.wait() for r in requests]
+
+    @staticmethod
+    def co_waitall(requests: list[EncryptedRequest]):
+        values = []
+        for req in requests:
+            values.append((yield from req.co_wait()))
+        return values
 
     def sendrecv(
         self,
@@ -360,6 +412,21 @@ class EncryptedComm:
         sreq.wait()
         return data, rreq.status
 
+    def co_sendrecv(
+        self,
+        senddata: bytes,
+        dest: int,
+        recvsource: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ):
+        self._check_not_pipelined("co_sendrecv")
+        rreq = self.irecv(recvsource, recvtag)
+        sreq = yield from self.co_isend(senddata, dest, sendtag)
+        data = yield from rreq.co_wait()
+        yield from sreq.co_wait()
+        return data, rreq.status
+
     # ------------------------------------------------------------------
     # collectives (§IV: Bcast, Allgather, Alltoall, Alltoallv)
     # ------------------------------------------------------------------
@@ -368,32 +435,62 @@ class EncryptedComm:
               nbytes: int | None = None) -> bytes:
         """Encrypted_Bcast: the root encrypts once, every other rank
         decrypts once; the ordinary bcast moves nonce||ciphertext."""
+        return run_blocking(
+            self.ctx._scheduler, self.co_bcast(data, root, nbytes=nbytes)
+        )
+
+    def co_bcast(self, data: bytes | None, root: int = 0, *,
+                 nbytes: int | None = None):
         if self.ctx.rank == root:
             assert data is not None
-            wire = self._encrypt_charged(bytes(data))
-            self.ctx.comm.bcast(wire, root)
+            wire = yield from self._co_encrypt_charged(bytes(data))
+            yield from self.ctx.comm.co_bcast(wire, root)
             return bytes(data)
         if nbytes is None:
             raise ValueError("non-root ranks must pass nbytes")
-        received = self.ctx.comm.bcast(None, root, nbytes=nbytes + WIRE_OVERHEAD)
-        return self._decrypt_charged(received)
+        received = yield from self.ctx.comm.co_bcast(
+            None, root, nbytes=nbytes + WIRE_OVERHEAD
+        )
+        return (yield from self._co_decrypt_charged(received))
 
     def allgather(self, data: bytes) -> list[bytes]:
         """Encrypted_Allgather: encrypt own block, allgather, decrypt all."""
-        wire = self._encrypt_charged(bytes(data))
-        gathered = self.ctx.comm.allgather(wire)
+        return run_blocking(self.ctx._scheduler, self.co_allgather(data))
+
+    def co_allgather(self, data: bytes):
+        wire = yield from self._co_encrypt_charged(bytes(data))
+        gathered = yield from self.ctx.comm.co_allgather(wire)
         # Like Algorithm 1's alltoall, every received block — including
         # the rank's own — goes through decryption.
-        return [self._decrypt_charged(block) for block in gathered]
+        out = []
+        for block in gathered:
+            out.append((yield from self._co_decrypt_charged(block)))
+        return out
 
     def alltoall(self, chunks: Sequence[bytes]) -> list[bytes]:
         """Encrypted_Alltoall, exactly Algorithm 1: encrypt every chunk
         with a fresh nonce, exchange, decrypt every received chunk."""
-        enc = [self._encrypt_charged(bytes(c)) for c in chunks]
-        received = self.ctx.comm.alltoall(enc)
-        return [self._decrypt_charged(block) for block in received]
+        return run_blocking(self.ctx._scheduler, self.co_alltoall(chunks))
+
+    def co_alltoall(self, chunks: Sequence[bytes]):
+        enc = []
+        for c in chunks:
+            enc.append((yield from self._co_encrypt_charged(bytes(c))))
+        received = yield from self.ctx.comm.co_alltoall(enc)
+        out = []
+        for block in received:
+            out.append((yield from self._co_decrypt_charged(block)))
+        return out
 
     def alltoallv(self, chunks: Sequence[bytes]) -> list[bytes]:
-        enc = [self._encrypt_charged(bytes(c)) for c in chunks]
-        received = self.ctx.comm.alltoallv(enc)
-        return [self._decrypt_charged(block) for block in received]
+        return run_blocking(self.ctx._scheduler, self.co_alltoallv(chunks))
+
+    def co_alltoallv(self, chunks: Sequence[bytes]):
+        enc = []
+        for c in chunks:
+            enc.append((yield from self._co_encrypt_charged(bytes(c))))
+        received = yield from self.ctx.comm.co_alltoallv(enc)
+        out = []
+        for block in received:
+            out.append((yield from self._co_decrypt_charged(block)))
+        return out

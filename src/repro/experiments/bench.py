@@ -26,7 +26,10 @@ import sys
 import time
 from typing import Any, Callable
 
-SCHEMA = 1
+#: schema 2 added the top-level ``runtime`` field (the
+#: repro.des.process.RUNTIMES tuple the build supports) and the
+#: coroutine twins of the engine benches
+SCHEMA = 2
 
 #: name -> (description, runner(mode) -> dict with at least "seconds")
 _BENCHES: dict[str, tuple[str, Callable[[str], dict]]] = {}
@@ -109,6 +112,28 @@ def _bench_des_events(mode: str) -> dict:
     return {"seconds": _timed(run), "events": count}
 
 
+@_bench("des_events_coro", "coroutine ranks driving the engine (sleep chain)")
+def _bench_des_events_coro(mode: str) -> dict:
+    from repro.des.process import Scheduler, _Sleep
+
+    count = 200_000 if mode == "full" else 20_000
+    nprocs = 4
+    per_rank = count // nprocs
+
+    def run() -> None:
+        sched = Scheduler(runtime="coroutines")
+
+        def prog():
+            for _ in range(per_rank):
+                yield _Sleep(1e-6)
+
+        for _ in range(nprocs):
+            sched.spawn(prog)
+        sched.run()
+
+    return {"seconds": _timed(run), "events": per_rank * nprocs}
+
+
 @_bench("process_handoff", "scheduler thread-handoff round trips")
 def _bench_process_handoff(mode: str) -> dict:
     from repro.des.process import Scheduler
@@ -123,6 +148,28 @@ def _bench_process_handoff(mode: str) -> dict:
             me = sched.current()
             for _ in range(sleeps):
                 me.sleep(1e-6)
+
+        for _ in range(nprocs):
+            sched.spawn(prog)
+        sched.run()
+
+    return {"seconds": _timed(run), "handoffs": sleeps * nprocs}
+
+
+@_bench("process_handoff_coro",
+        "same wake count on generator coroutines (no OS threads)")
+def _bench_process_handoff_coro(mode: str) -> dict:
+    from repro.des.process import Scheduler, _Sleep
+
+    sleeps = 5_000 if mode == "full" else 500
+    nprocs = 4
+
+    def run() -> None:
+        sched = Scheduler(runtime="coroutines")
+
+        def prog():
+            for _ in range(sleeps):
+                yield _Sleep(1e-6)
 
         for _ in range(nprocs):
             sched.spawn(prog)
@@ -194,7 +241,8 @@ def _bench_campaign_warm_cache(_mode: str) -> dict:
 
 
 #: simulator benches whose hot paths carry the guarded trace-emit sites
-TRACING_SENSITIVE = ("des_events", "process_handoff", "simmpi_messages")
+TRACING_SENSITIVE = ("des_events", "des_events_coro", "process_handoff",
+                     "process_handoff_coro", "simmpi_messages")
 
 
 def check_tracing_overhead(
@@ -248,11 +296,14 @@ def run_core_benches(mode: str = "full") -> dict:
         result = fn(mode)
         result["description"] = description
         benches[name] = result
+    from repro.des.process import RUNTIMES
+
     return {
         "schema": SCHEMA,
         "mode": mode,
         "python": sys.version.split()[0],
         "platform": platform.platform(),
+        "runtime": list(RUNTIMES),
         "benches": benches,
     }
 

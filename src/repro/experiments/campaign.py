@@ -93,23 +93,30 @@ def _digest(doc: dict) -> str:
     ).hexdigest()[:16]
 
 
-def experiment_config_digest(exp: Experiment, crypto: Any = None) -> str:
+def experiment_config_digest(
+    exp: Experiment, crypto: Any = None, engine: Any = None
+) -> str:
     """Config digest of a registry cell (its configuration *is* its
     registration; the runner's behavior is covered by the code key).
 
     *crypto* (a :class:`repro.encmpi.plan.CryptoPlan`) is the
     campaign-wide default plan; its canonical token salts the digest so
     serial and cryptmpi runs of the same cell occupy distinct cache
-    entries.  The experiment's own ``cluster`` override — when set —
-    is part of the digest for the same reason."""
+    entries.  *engine* (a :class:`repro.des.options.EngineOptions`)
+    salts the same way — runtimes are byte-equivalent by construction,
+    but a cache key must never *assume* an invariant the parity checks
+    exist to enforce.  The experiment's own ``cluster`` override — when
+    set — joins through its canonical :meth:`~ClusterSpec.token`."""
     doc: dict[str, Any] = {
         "kind": "experiment", "id": exp.id, "paper_ref": exp.paper_ref,
         "cost": exp.cost,
     }
     if exp.cluster is not None:
-        doc["cluster"] = _jsonable(exp.cluster)
+        doc["cluster"] = exp.cluster.token()
     if crypto is not None:
         doc["crypto"] = crypto.token()
+    if engine is not None:
+        doc["engine"] = engine.token()
     return _digest(doc)
 
 
@@ -121,11 +128,13 @@ def job_config_digest(
     security: Any = None,
     placement: str = "block",
     cluster: Any = None,
+    engine: Any = None,
 ) -> str:
     """Config digest of one simulated-job cell (the :func:`repro.api`
     argument surface).  Any change to the security config, fabric, rank
-    count, placement, cluster shape, or the workload's own source flips
-    the digest — the cache-miss conditions the tests pin."""
+    count, placement, cluster shape, engine options, or the workload's
+    own source flips the digest — the cache-miss conditions the tests
+    pin."""
     try:
         import inspect
 
@@ -143,7 +152,8 @@ def job_config_digest(
             "network": network if isinstance(network, str) else network.name,
             "security": _jsonable(security),
             "placement": placement,
-            "cluster": _jsonable(cluster),
+            "cluster": cluster.token() if hasattr(cluster, "token") else _jsonable(cluster),
+            "engine": engine.token() if engine is not None else None,
         }
     )
 
@@ -344,6 +354,7 @@ def run_campaign(
     write_manifest: bool = True,
     sanitize: bool = False,
     crypto: Any = None,
+    engine: Any = None,
     on_start: Callable[[Experiment, int, int], None] | None = None,
     on_cell: Callable[[CellOutcome, int, int], None] | None = None,
 ) -> CampaignResult:
@@ -378,6 +389,13 @@ def run_campaign(
     process-wide default plan for the executing phase — fork-pool
     workers inherit it, exactly like the sanitize flag — and salts
     every cell's cache key with the plan's token.
+
+    *engine* (an :class:`repro.des.options.EngineOptions`, or its spec
+    string, e.g. ``"coroutines"``) sets the process-wide default engine
+    options the same way — every simulated job in every runner executes
+    on that runtime — and salts every cell's cache key with the
+    options' token (``make check-runtime-parity`` relies on the two
+    runtimes occupying distinct cache entries).
     """
     t0 = time.perf_counter()
     if crypto is not None:
@@ -385,6 +403,15 @@ def run_campaign(
 
         if not isinstance(crypto, CryptoPlan):
             raise TypeError(f"crypto must be a CryptoPlan, got {crypto!r}")
+    if engine is not None:
+        from repro.des.options import EngineOptions, parse_engine_options
+
+        if isinstance(engine, str):
+            engine = parse_engine_options(engine)
+        elif not isinstance(engine, EngineOptions):
+            raise TypeError(
+                f"engine must be EngineOptions or a spec string, got {engine!r}"
+            )
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     requested = list(selection)
@@ -410,7 +437,7 @@ def run_campaign(
         manifest_path = os.path.join(results_dir, MANIFEST_NAME)
 
     total = len(exps)
-    keys = {e.id: cell_key(e.id, experiment_config_digest(e, crypto),
+    keys = {e.id: cell_key(e.id, experiment_config_digest(e, crypto, engine),
                            fingerprint)
             for e in exps}
     outcomes: dict[str, CellOutcome] = {}
@@ -491,7 +518,8 @@ def run_campaign(
                     keys[exp.id],
                     {
                         "experiment": exp.id,
-                        "config_digest": experiment_config_digest(exp, crypto),
+                        "config_digest": experiment_config_digest(
+                            exp, crypto, engine),
                         "code_fingerprint": fingerprint,
                         "seconds": payload["seconds"],
                         "artifact": payload["artifact"],
@@ -530,12 +558,15 @@ def run_campaign(
     # -- phase 2: execute the rest -----------------------------------------
     if pending:
         from repro.analysis.sanitize import set_default_sanitize
+        from repro.des.options import set_default_engine_options
         from repro.encmpi.plan import set_default_crypto_plan
 
         # Set before any worker forks so children inherit the flag;
         # restored afterwards so the flag never leaks past the campaign.
         prev_sanitize = set_default_sanitize(sanitize)
         prev_crypto = set_default_crypto_plan(crypto) if crypto is not None \
+            else None
+        prev_engine = set_default_engine_options(engine) if engine is not None \
             else None
         try:
             if jobs == 1 or len(pending) == 1:
@@ -566,6 +597,8 @@ def run_campaign(
             set_default_sanitize(prev_sanitize)
             if crypto is not None:
                 set_default_crypto_plan(prev_crypto)
+            if engine is not None:
+                set_default_engine_options(prev_engine)
 
     manifest_doc["finished"] = time.time()
     if manifest_path:

@@ -46,6 +46,27 @@ def _parse_crypto_arg(args):
         return _BAD_SPEC
 
 
+def _parse_runtime_arg(args):
+    """Parse ``--runtime SPEC`` into EngineOptions (None when absent)."""
+    spec = getattr(args, "runtime", None)
+    if not spec:
+        return None
+    from repro.des.options import parse_engine_options
+
+    try:
+        return parse_engine_options(spec)
+    except ValueError as exc:
+        print(f"bad --runtime spec: {exc}", file=sys.stderr)
+        return _BAD_SPEC
+
+
+_RUNTIME_HELP = (
+    "rank runtime for every simulated job, e.g. 'coroutines', "
+    "'threads:handoff_check=on', 'coroutines:max_ranks=4096' "
+    "(see repro.des.options.parse_engine_options)"
+)
+
+
 def _cmd_list(_args) -> int:
     print(f"{'id':8s} {'paper':11s} {'cost':7s} title")
     for exp in list_experiments():
@@ -64,6 +85,9 @@ def _cmd_run(args) -> int:
         return 2
     crypto = _parse_crypto_arg(args)
     if crypto is _BAD_SPEC:
+        return 2
+    engine = _parse_runtime_arg(args)
+    if engine is _BAD_SPEC:
         return 2
     out_dir = getattr(args, "output", None)
     as_json = getattr(args, "json", False)
@@ -91,6 +115,7 @@ def _cmd_run(args) -> int:
         write_manifest=False,
         sanitize=args.sanitize,
         crypto=crypto,
+        engine=engine,
         on_start=on_start,
         on_cell=on_cell,
     )
@@ -118,6 +143,9 @@ def _cmd_campaign(args) -> int:
         return 2
     crypto = _parse_crypto_arg(args)
     if crypto is _BAD_SPEC:
+        return 2
+    engine = _parse_runtime_arg(args)
+    if engine is _BAD_SPEC:
         return 2
     cache = not args.no_cache
     print(
@@ -152,6 +180,7 @@ def _cmd_campaign(args) -> int:
         results_dir=args.output,
         sanitize=args.sanitize,
         crypto=crypto,
+        engine=engine,
         on_cell=on_cell,
     )
     ok = len(result.cells) - len(result.failed)
@@ -219,28 +248,41 @@ def _cmd_nas(args) -> int:
     crypto = _parse_crypto_arg(args)
     if crypto is _BAD_SPEC:
         return 2
+    engine = _parse_runtime_arg(args)
+    if engine is _BAD_SPEC:
+        return 2
+    from repro.des.options import set_default_engine_options
+
     perturbed = dict(faults=faults, resilience=policy, crypto=crypto)
     names = NAS_BENCHMARKS() if args.benchmark == "all" else [args.benchmark]
-    for name in names:
-        # the baseline column stays the calibrated clean-fabric number;
-        # faults/resilience perturb the runs under comparison
-        base = run_nas(name, network=args.network)
-        line = f"{name.upper():4s} {args.network}: baseline {base.total_seconds:7.2f}s"
-        if args.library:
-            enc = run_nas(name, network=args.network, library=args.library,
-                          **perturbed)
-            line += (
-                f"  {args.library} {enc.total_seconds:7.2f}s "
-                f"(+{overhead_percent(enc.total_seconds, base.total_seconds):.2f}%)"
-            )
-        elif faults is not None or policy is not None:
-            lossy = run_nas(name, network=args.network, **perturbed)
-            line += (
-                f"  faulty {lossy.total_seconds:7.2f}s "
-                f"(+{overhead_percent(lossy.total_seconds, base.total_seconds):.2f}%)"
-            )
-        line += f"  [comm {base.comm_seconds:.2f}s, compute {base.compute_seconds:.2f}s]"
-        print(line)
+    # --runtime applies to every job of the command (baseline and
+    # encrypted alike), exactly like the campaign's engine default
+    prev_engine = set_default_engine_options(engine) if engine is not None \
+        else None
+    try:
+        for name in names:
+            # the baseline column stays the calibrated clean-fabric number;
+            # faults/resilience perturb the runs under comparison
+            base = run_nas(name, network=args.network)
+            line = f"{name.upper():4s} {args.network}: baseline {base.total_seconds:7.2f}s"
+            if args.library:
+                enc = run_nas(name, network=args.network, library=args.library,
+                              **perturbed)
+                line += (
+                    f"  {args.library} {enc.total_seconds:7.2f}s "
+                    f"(+{overhead_percent(enc.total_seconds, base.total_seconds):.2f}%)"
+                )
+            elif faults is not None or policy is not None:
+                lossy = run_nas(name, network=args.network, **perturbed)
+                line += (
+                    f"  faulty {lossy.total_seconds:7.2f}s "
+                    f"(+{overhead_percent(lossy.total_seconds, base.total_seconds):.2f}%)"
+                )
+            line += f"  [comm {base.comm_seconds:.2f}s, compute {base.compute_seconds:.2f}s]"
+            print(line)
+    finally:
+        if engine is not None:
+            set_default_engine_options(prev_engine)
     return 0
 
 
@@ -437,6 +479,8 @@ def main(argv: list[str] | None = None) -> int:
         "'cryptmpi:chunk=256k,cores=3' or 'serial' "
         "(see repro.encmpi.plan.parse_crypto_plan)",
     )
+    run.add_argument("--runtime", default=None, metavar="SPEC",
+                     help=_RUNTIME_HELP)
     run.set_defaults(func=_cmd_run)
     campaign = sub.add_parser(
         "campaign",
@@ -490,6 +534,8 @@ def main(argv: list[str] | None = None) -> int:
         help="default crypto plan for every encrypted workload, e.g. "
         "'cryptmpi:chunk=256k,cores=3'; part of the cell cache key",
     )
+    campaign.add_argument("--runtime", default=None, metavar="SPEC",
+                          help=_RUNTIME_HELP + "; part of the cell cache key")
     campaign.set_defaults(func=_cmd_campaign)
     bench = sub.add_parser(
         "bench", help="time the substrate's hot paths (BENCH_core.json)"
@@ -543,6 +589,8 @@ def main(argv: list[str] | None = None) -> int:
         help="crypto plan for the encrypted run, e.g. "
         "'cryptmpi:chunk=256k,cores=3' (see repro.encmpi.plan)",
     )
+    nas.add_argument("--runtime", default=None, metavar="SPEC",
+                     help=_RUNTIME_HELP)
     nas.set_defaults(func=_cmd_nas)
     analyze = sub.add_parser(
         "analyze", help="decompose a ping-pong overhead (the §V-A arithmetic)"

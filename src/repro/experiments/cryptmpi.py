@@ -23,12 +23,12 @@ from __future__ import annotations
 
 from repro.encmpi.plan import CryptoPlan
 from repro.experiments.report import Artifact
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.util.tables import Table
 from repro.util.units import format_bytes
 
 #: two nodes, eight cores each — ranks on different nodes, helpers idle
-CRYPTMPI_CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)
+CRYPTMPI_CLUSTER = parse_cluster_spec("2x8")
 
 NETWORK = "infiniband"
 LIBRARY = "boringssl"

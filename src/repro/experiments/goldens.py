@@ -59,11 +59,11 @@ def pingpong_program(size: int, iterations: int = 3, tag: int = 7):
         data = bytes(size)
         for _ in range(iterations):
             if ctx.rank == 0:
-                ctx.comm.send(data, peer, tag=tag)
-                ctx.comm.recv(peer, tag)
+                yield from ctx.comm.co_send(data, peer, tag=tag)
+                yield from ctx.comm.co_recv(peer, tag)
             else:
-                ctx.comm.recv(peer, tag)
-                ctx.comm.send(data, peer, tag=tag)
+                yield from ctx.comm.co_recv(peer, tag)
+                yield from ctx.comm.co_send(data, peer, tag=tag)
         return iterations
 
     return program
@@ -74,8 +74,8 @@ def bcast_program(size: int, root: int = 0):
 
     def program(ctx):
         data = bytes(size) if ctx.rank == root else None
-        out = ctx.comm.bcast(data, root, nbytes=size)
-        ctx.comm.barrier()
+        out = yield from ctx.comm.co_bcast(data, root, nbytes=size)
+        yield from ctx.comm.co_barrier()
         return len(out)
 
     return program
@@ -94,11 +94,11 @@ def enc_multipair_program(size: int):
         peer = (ctx.rank + ctx.size // 2) % ctx.size
         data = bytes(size)
         rreq = enc.irecv(peer, tag=TAG_PAIR)
-        sreq = enc.isend(data, peer, tag=TAG_PAIR)
-        got = rreq.wait()
-        sreq.wait()
-        ctx.comm.barrier()
-        blocks = enc.allgather(bytes(size // 4))
+        sreq = yield from enc.co_isend(data, peer, tag=TAG_PAIR)
+        got = yield from rreq.co_wait()
+        yield from sreq.co_wait()
+        yield from ctx.comm.co_barrier()
+        blocks = yield from enc.co_allgather(bytes(size // 4))
         return len(got) + sum(len(b) for b in blocks)
 
     return program

@@ -26,13 +26,13 @@ from __future__ import annotations
 
 from repro.encmpi.plan import CryptoPlan
 from repro.experiments.report import Artifact
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.simmpi.faults import FaultPlan
 from repro.simmpi.resilience import ResiliencePolicy
 from repro.util.tables import Table
 
 #: ping-pong and multipair both run on the two-node slice
-PREDICT_CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)
+PREDICT_CLUSTER = parse_cluster_spec("2x8")
 
 #: off-anchor size grid: 8 sizes per octave, 512 B .. 4 MiB
 SIZE_STEPS_PER_OCTAVE = 8

@@ -19,7 +19,8 @@ from repro.experiments.extras import unreported_collectives
 from repro.experiments.predict import predict_validation
 from repro.experiments.resilience import resilience
 from repro.experiments.scalability import scalability
-from repro.models.cpu import ClusterSpec
+from repro.experiments.scale import SCALE_CLUSTER, scale
+from repro.models.cpu import ClusterSpec, parse_cluster_spec
 
 
 @dataclass(frozen=True)
@@ -88,7 +89,15 @@ def _reg() -> dict[str, Experiment]:
             "Pipelined (CryptMPI-style) vs serial encryption",
             cryptmpi,
             "medium",
-            cluster=ClusterSpec(nodes=2, cores_per_node=8),
+            cluster=parse_cluster_spec("2x8"),
+        ),
+        Experiment(
+            "scale",
+            "§V ext.",
+            "Encrypted_Alltoall to 4096 ranks, fluid model, coroutines",
+            scale,
+            "slow",
+            cluster=SCALE_CLUSTER,
         ),
         Experiment(
             "predict",
@@ -96,7 +105,7 @@ def _reg() -> dict[str, Experiment]:
             "Analytical predictor vs simulator, off-anchor grid",
             predict_validation,
             "medium",
-            cluster=ClusterSpec(nodes=2, cores_per_node=8),
+            cluster=parse_cluster_spec("2x8"),
         ),
     ]
     return {e.id: e for e in entries}

@@ -17,14 +17,14 @@ from __future__ import annotations
 
 from repro.encmpi import CryptoPlan, SecurityConfig
 from repro.experiments.report import Artifact
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.simmpi.faults import FaultPlan
 from repro.simmpi.resilience import ResiliencePolicy
 from repro.util.tables import Table
 
 #: two ranks on two nodes — the paper's ping-pong placement, so every
 #: message (and every retransmission) crosses the wire
-RESILIENCE_CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)
+RESILIENCE_CLUSTER = parse_cluster_spec("2x8")
 
 #: single channel of the exchange (named per MPI002: no magic tags)
 TAG_RESILIENT_PINGPONG = 7

@@ -13,7 +13,7 @@ balance.
 from __future__ import annotations
 
 from repro.experiments.report import Artifact
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.util.stats import overhead_percent
 from repro.util.tables import Table
 from repro.util.units import KiB
@@ -21,10 +21,10 @@ from repro.workloads.osu_collectives import collective_latency
 
 #: (label, nranks, cluster) — the paper's four settings.
 SETTINGS = (
-    ("4r/4n", 4, ClusterSpec(nodes=4, cores_per_node=8)),
-    ("16r/4n", 16, ClusterSpec(nodes=4, cores_per_node=8)),
-    ("16r/8n", 16, ClusterSpec(nodes=8, cores_per_node=8)),
-    ("64r/8n", 64, ClusterSpec(nodes=8, cores_per_node=8)),
+    ("4r/4n", 4, parse_cluster_spec("4x8")),
+    ("16r/4n", 16, parse_cluster_spec("4x8")),
+    ("16r/8n", 16, parse_cluster_spec("8x8")),
+    ("64r/8n", 64, parse_cluster_spec("8x8")),
 )
 
 LIBS = ("boringssl", "libsodium", "cryptopp")

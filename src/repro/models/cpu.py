@@ -35,18 +35,35 @@ def pipeline_waves(nchunks: int, cores: int) -> int:
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Static description of the simulated cluster."""
+    """Static description of the simulated cluster.
+
+    ``fabric`` optionally names the interconnect the spec was written
+    for (``"ethernet"``/``"ib"``); it is carried verbatim into
+    :meth:`token` — and thus campaign cache keys — but the network a
+    job actually uses still comes from the ``network=`` argument.
+    """
 
     nodes: int
     cores_per_node: int
+    fabric: str | None = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1 or self.cores_per_node < 1:
             raise ValueError(f"invalid cluster shape {self}")
+        if self.fabric is not None and (
+            not isinstance(self.fabric, str) or not self.fabric.strip()
+        ):
+            raise ValueError(f"fabric must be a non-empty string, got {self.fabric!r}")
 
     @property
     def total_cores(self) -> int:
         return self.nodes * self.cores_per_node
+
+    def token(self) -> str:
+        """Canonical ``"NODESxCORES[:fabric]"`` form (stable: the
+        campaign digests cluster shapes through it)."""
+        base = f"{self.nodes}x{self.cores_per_node}"
+        return f"{base}:{self.fabric}" if self.fabric is not None else base
 
     def validate_ranks(self, nranks: int) -> None:
         if nranks < 1:
@@ -195,6 +212,37 @@ class CoreAllocator:
 
         done.callbacks.append(_record)
         return done
+
+
+def parse_cluster_spec(spec: str) -> ClusterSpec:
+    """Parse ``"NODESxCORES[:fabric]"`` into a :class:`ClusterSpec`.
+
+    The string form of the cluster shape, joining the ``parse_*`` spec
+    family (:func:`repro.encmpi.plan.parse_crypto_plan`,
+    :func:`repro.des.options.parse_engine_options`, …)::
+
+        parse_cluster_spec("8x8")       # the paper's testbed
+        parse_cluster_spec("2x8:ib")    # two nodes, written for IB
+
+    Round-trips with :meth:`ClusterSpec.token`.  Malformed shapes raise
+    :class:`ValueError` describing the grammar.
+    """
+    body, _sep, fabric = spec.strip().partition(":")
+    fabric = fabric.strip() or None
+    nodes_s, sep, cores_s = body.partition("x")
+    if not sep:
+        raise ValueError(
+            f"malformed cluster spec {spec!r} (need 'NODESxCORES[:fabric]', "
+            "e.g. '8x8' or '2x8:ib')"
+        )
+    try:
+        nodes, cores = int(nodes_s), int(cores_s)
+    except ValueError:
+        raise ValueError(
+            f"malformed cluster spec {spec!r}: nodes and cores must be "
+            "integers (e.g. '8x8')"
+        ) from None
+    return ClusterSpec(nodes=nodes, cores_per_node=cores, fabric=fabric)
 
 
 #: The paper's testbed.

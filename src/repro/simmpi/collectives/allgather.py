@@ -35,7 +35,7 @@ def _unpack(payload: bytes) -> dict[int, bytes]:
     return out
 
 
-def allgather(handle, data: bytes) -> list[bytes]:
+def allgather(handle, data: bytes):
     size = handle.size
     data = as_bytes(data)
     tag = handle._next_coll_tag()
@@ -43,11 +43,11 @@ def allgather(handle, data: bytes) -> list[bytes]:
         return [data]
     total = len(data) * size
     if is_power_of_two(size) and total <= ALLGATHER_LONG_THRESHOLD:
-        return _allgather_recursive_doubling(handle, data, tag)
-    return _allgather_ring(handle, data, tag)
+        return (yield from _allgather_recursive_doubling(handle, data, tag))
+    return (yield from _allgather_ring(handle, data, tag))
 
 
-def _allgather_recursive_doubling(handle, data: bytes, tag: int) -> list[bytes]:
+def _allgather_recursive_doubling(handle, data: bytes, tag: int):
     size, rank = handle.size, handle.rank
     held: dict[int, bytes] = {rank: data}
     mask = 1
@@ -56,15 +56,16 @@ def _allgather_recursive_doubling(handle, data: bytes, tag: int) -> list[bytes]:
         packed = _pack(held)
         wire = sum(len(c) for c in held.values())
         rreq = handle.irecv(partner, tag, _internal=True)
-        handle.isend(packed, partner, tag, wire_bytes=wire,
-                     payload_bytes=wire, _internal=True).wait()
-        received = rreq.wait()
+        sreq = yield from handle.co_isend(packed, partner, tag, wire_bytes=wire,
+                                          payload_bytes=wire, _internal=True)
+        yield from sreq.co_wait()
+        received = yield from rreq.co_wait()
         held.update(_unpack(received))
         mask <<= 1
     return [held[i] for i in range(size)]
 
 
-def _allgather_ring(handle, data: bytes, tag: int) -> list[bytes]:
+def _allgather_ring(handle, data: bytes, tag: int):
     size, rank = handle.size, handle.rank
     right = (rank + 1) % size
     left = (rank - 1) % size
@@ -72,7 +73,8 @@ def _allgather_ring(handle, data: bytes, tag: int) -> list[bytes]:
     send_idx = rank
     for _step in range(size - 1):
         out = held[send_idx]
-        received, _status = handle.sendrecv(out, right, left, tag, tag, _internal=True)
+        received, _status = yield from handle.co_sendrecv(
+            out, right, left, tag, tag, _internal=True)
         recv_idx = (send_idx - 1) % size
         held[recv_idx] = received
         send_idx = recv_idx

@@ -33,7 +33,7 @@ def _check_chunks(handle, chunks: Sequence[bytes]) -> list:
     return [c if isinstance(c, OpaquePayload) else bytes(c) for c in chunks]
 
 
-def alltoall(handle, chunks: Sequence[bytes]) -> list[bytes]:
+def alltoall(handle, chunks: Sequence[bytes]):
     """Chunk i of *chunks* goes to rank i; returns the received chunks."""
     chunks = _check_chunks(handle, chunks)
     tag = handle._next_coll_tag()
@@ -42,11 +42,11 @@ def alltoall(handle, chunks: Sequence[bytes]) -> list[bytes]:
         return [chunks[0]]
     per_pair = max(len(c) for c in chunks)
     if per_pair <= ALLTOALL_PAIRWISE_THRESHOLD:
-        return _alltoall_batched(handle, chunks, tag)
-    return _alltoall_pairwise(handle, chunks, tag)
+        return (yield from _alltoall_batched(handle, chunks, tag))
+    return (yield from _alltoall_pairwise(handle, chunks, tag))
 
 
-def alltoallv(handle, chunks: Sequence[bytes]) -> list[bytes]:
+def alltoallv(handle, chunks: Sequence[bytes]):
     """Alltoall with per-destination sizes (MPI_Alltoallv).
 
     MPICH's alltoallv batches isend/irecv with a bounded number of
@@ -59,11 +59,11 @@ def alltoallv(handle, chunks: Sequence[bytes]) -> list[bytes]:
     if handle.size == 1:
         return [chunks[0]]
     if max(len(c) for c in chunks) > ALLTOALL_PAIRWISE_THRESHOLD:
-        return _alltoall_pairwise(handle, chunks, tag)
-    return _alltoall_batched(handle, chunks, tag)
+        return (yield from _alltoall_pairwise(handle, chunks, tag))
+    return (yield from _alltoall_batched(handle, chunks, tag))
 
 
-def _alltoall_batched(handle, chunks: list[bytes], tag: int) -> list[bytes]:
+def _alltoall_batched(handle, chunks: list[bytes], tag: int):
     size, rank = handle.size, handle.rank
     recvs = {}
     # Post receives for every peer first (MPICH posts the irecvs up
@@ -75,16 +75,18 @@ def _alltoall_batched(handle, chunks: list[bytes], tag: int) -> list[bytes]:
     sends = []
     for offset in range(1, size):
         dst = (rank + offset) % size
-        sends.append(handle.isend(chunks[dst], dst, tag, _internal=True))
+        sends.append(
+            (yield from handle.co_isend(chunks[dst], dst, tag, _internal=True))
+        )
     result: list[bytes] = [b""] * size
     result[rank] = chunks[rank]
     for src, req in recvs.items():
-        result[src] = req.wait()
-    handle.waitall(sends)
+        result[src] = yield from req.co_wait()
+    yield from handle.co_waitall(sends)
     return result
 
 
-def _alltoall_pairwise(handle, chunks: list[bytes], tag: int) -> list[bytes]:
+def _alltoall_pairwise(handle, chunks: list[bytes], tag: int):
     size, rank = handle.size, handle.rank
     result: list[bytes] = [b""] * size
     result[rank] = chunks[rank]
@@ -96,7 +98,7 @@ def _alltoall_pairwise(handle, chunks: list[bytes], tag: int) -> list[bytes]:
             partner = (rank + phase) % size
         send_to = partner
         recv_from = partner if pow2 else (rank - phase) % size
-        received, _status = handle.sendrecv(
+        received, _status = yield from handle.co_sendrecv(
             chunks[send_to], send_to, recv_from, tag, tag, _internal=True
         )
         result[recv_from] = received

@@ -8,7 +8,7 @@ After the last round every rank has (transitively) heard from everyone.
 from __future__ import annotations
 
 
-def barrier(handle) -> None:
+def barrier(handle):
     size, rank = handle.size, handle.rank
     if size == 1:
         return
@@ -17,5 +17,5 @@ def barrier(handle) -> None:
     while mask < size:
         dst = (rank + mask) % size
         src = (rank - mask) % size
-        handle.sendrecv(b"", dst, src, tag, tag, _internal=True)
+        yield from handle.co_sendrecv(b"", dst, src, tag, tag, _internal=True)
         mask <<= 1

@@ -32,7 +32,7 @@ BCAST_LONG_THRESHOLD = 12 * 1024
 BCAST_RING_THRESHOLD = 512 * 1024
 
 
-def bcast(handle, data: bytes | None, root: int = 0, *, nbytes: int | None = None) -> bytes:
+def bcast(handle, data: bytes | None, root: int = 0, *, nbytes: int | None = None):
     size = handle.size
     handle._check_peer(root)
     if handle.rank == root:
@@ -58,25 +58,26 @@ def bcast(handle, data: bytes | None, root: int = 0, *, nbytes: int | None = Non
     if size == 1:
         return data  # type: ignore[return-value]
     if nbytes <= BCAST_LONG_THRESHOLD:
-        return _bcast_binomial(handle, data, root, tag)
-    return _bcast_scatter_allgather(handle, data, nbytes, root, tag)
+        return (yield from _bcast_binomial(handle, data, root, tag))
+    return (yield from _bcast_scatter_allgather(handle, data, nbytes, root, tag))
 
 
-def _bcast_binomial(handle, data: bytes | None, root: int, tag: int) -> bytes:
+def _bcast_binomial(handle, data: bytes | None, root: int, tag: int):
     size = handle.size
     v = vrank_of(handle.rank, root, size)
     if v != 0:
         parent = rank_of(binomial_parent(v), root, size)
-        data, _status = handle.recv(parent, tag, _internal=True)
+        data, _status = yield from handle.co_recv(parent, tag, _internal=True)
     assert data is not None
     for child in binomial_children(v, size):
-        handle.send(data, rank_of(child, root, size), tag, _internal=True)
+        yield from handle.co_send(data, rank_of(child, root, size), tag,
+                                  _internal=True)
     return data
 
 
 def _bcast_scatter_allgather(
     handle, data: bytes | None, nbytes: int, root: int, tag: int
-) -> bytes:
+):
     size = handle.size
     v = vrank_of(handle.rank, root, size)
     # Chunk geometry is a pure function of (nbytes, size): identical on
@@ -90,7 +91,7 @@ def _bcast_scatter_allgather(
         owned = {i: chunks[i] for i in range(size)}
     else:
         parent = rank_of(binomial_parent(v), root, size)
-        payload, _status = handle.recv(parent, tag, _internal=True)
+        payload, _status = yield from handle.co_recv(parent, tag, _internal=True)
         lo, hi = subtree_span(v, size)
         owned = {}
         offset = 0
@@ -102,20 +103,20 @@ def _bcast_scatter_allgather(
     for child in binomial_children(v, size):
         lo, hi = subtree_span(child, size)
         payload = b"".join(owned[i] for i in range(lo, hi))
-        handle.send(payload, rank_of(child, root, size), tag, _internal=True)
+        yield from handle.co_send(payload, rank_of(child, root, size), tag,
+                                  _internal=True)
 
     # --- allgather of the per-rank chunks -----------------------------------
     if nbytes <= BCAST_RING_THRESHOLD and is_power_of_two(size):
-        gathered = _allgather_recursive_doubling(
+        gathered = yield from _allgather_recursive_doubling(
             handle, v, owned[v], chunk_sizes, root, tag
         )
     else:
-        gathered = _allgather_ring(handle, v, owned[v], root, tag)
+        gathered = yield from _allgather_ring(handle, v, owned[v], root, tag)
     return b"".join(gathered[i] for i in range(size))
 
 
-def _allgather_ring(handle, v: int, own_chunk: bytes, root: int, tag: int
-                    ) -> dict[int, bytes]:
+def _allgather_ring(handle, v: int, own_chunk: bytes, root: int, tag: int):
     size = handle.size
     right = rank_of((v + 1) % size, root, size)
     left = rank_of((v - 1) % size, root, size)
@@ -123,7 +124,8 @@ def _allgather_ring(handle, v: int, own_chunk: bytes, root: int, tag: int
     send_idx = v
     for _step in range(size - 1):
         out = gathered[send_idx]
-        received, _status = handle.sendrecv(out, right, left, tag, tag, _internal=True)
+        received, _status = yield from handle.co_sendrecv(
+            out, right, left, tag, tag, _internal=True)
         recv_idx = (send_idx - 1) % size
         gathered[recv_idx] = received
         send_idx = recv_idx
@@ -132,7 +134,7 @@ def _allgather_ring(handle, v: int, own_chunk: bytes, root: int, tag: int
 
 def _allgather_recursive_doubling(
     handle, v: int, own_chunk: bytes, chunk_sizes: list[int], root: int, tag: int
-) -> dict[int, bytes]:
+):
     """log2(p) exchange steps in virtual-rank space; each step doubles
     the contiguous chunk range a rank holds.  Chunk boundaries are a
     pure function of (nbytes, p), so ranges travel without headers."""
@@ -149,7 +151,7 @@ def _allgather_recursive_doubling(
         else:
             their_lo, their_hi = block_start + mask, block_start + 2 * mask - 1
         payload = b"".join(gathered[i] for i in range(lo, hi + 1))
-        received, _status = handle.sendrecv(
+        received, _status = yield from handle.co_sendrecv(
             payload, rank_of(partner_v, root, size),
             rank_of(partner_v, root, size), tag, tag, _internal=True,
         )

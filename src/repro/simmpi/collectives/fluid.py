@@ -1,0 +1,164 @@
+"""Fluid (closed-form) collective models for the large-rank regime.
+
+The message-level simulator models every point-to-point transfer of a
+collective individually — for an N-rank alltoall that is N² envelopes,
+N² matching-engine entries, and N² flow events.  At the paper's scale
+(≤ 64 ranks) that is the right fidelity; at the ``scale`` experiment's
+4096 ranks it is 16.7M messages per collective and the state alone
+dwarfs the machine.
+
+This module trades per-message fidelity for a **hierarchical fluid
+model** with flat memory: the collective's traffic is aggregated per
+node (everything here is closed-form arithmetic over the calibrated
+:class:`~repro.models.network.NetworkModel` and
+:class:`~repro.models.cryptolib.CryptoLibraryProfile` curves), and each
+rank is a coroutine that *yields the computed phase durations* —
+``O(1)`` state per rank, no per-message bookkeeping.  The same
+contention structure the exact simulator resolves event-by-event is
+preserved in aggregate:
+
+- every rank seals N chunks before injecting and opens N after arrival
+  (Algorithm 1 encrypts/decrypts every block, own included);
+- the cryptmpi plan overlaps seals across the rank's core plus its
+  share of the node's helper cores, in waves of the shared
+  :func:`repro.models.cpu.pipeline_waves` formula;
+- each node's NIC carries ``rpn·(N-rpn)`` messages in each direction —
+  the egress/ingress drain at ``nic_capacity`` and the serialized NIC
+  message engine are both modeled, whichever is slower dominates;
+- intra-node blocks ride shared memory (per-message overhead + copy).
+
+The phases per rank: seal + inject (rank core, serialized), then the
+slower of the shm exchange and the inter-node drain + latency tail,
+then opening the received blocks.  All ranks of the symmetric alltoall
+see identical phases, so the job makespan equals the per-rank total —
+asserted by the registry's ``scale`` experiment, which runs this
+program on the coroutine runtime at up to 4096 ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.des.process import _Sleep
+from repro.models.cpu import ClusterSpec, pipeline_waves
+from repro.models.cryptolib import CryptoLibraryProfile
+from repro.models.network import NetworkModel
+
+#: nonce + GCM tag bytes each encrypted block carries on the wire
+#: (mirrors repro.crypto.aead.WIRE_OVERHEAD without importing the
+#: backend machinery into the model layer)
+ENCRYPTED_WIRE_OVERHEAD = 28
+
+
+@dataclass(frozen=True)
+class FluidPhases:
+    """Closed-form per-rank phase durations of one fluid collective."""
+
+    nranks: int
+    msg_bytes: int
+    #: rank-core seconds before injection: seals + per-message overheads
+    cpu_send_seconds: float
+    #: wire phase: slower of the shm exchange and the inter-node drain
+    exchange_seconds: float
+    #: rank-core seconds after arrival: opening received blocks
+    cpu_recv_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cpu_send_seconds + self.exchange_seconds + self.cpu_recv_seconds
+
+
+def fluid_alltoall_phases(
+    nranks: int,
+    msg_bytes: int,
+    *,
+    cluster: ClusterSpec,
+    network: NetworkModel,
+    profile: CryptoLibraryProfile | None = None,
+    pipelined: bool = False,
+    helper_cores: int | None = None,
+) -> FluidPhases:
+    """Phase durations of one Encrypted_Alltoall round at *nranks*.
+
+    *profile* is the (shared — construct it once, not per rank) crypto
+    cost model; None models the unencrypted baseline.  *pipelined*
+    selects the cryptmpi discipline: seals overlap across the rank's
+    core plus its share of the node's helper cores, capped by
+    *helper_cores* (None = every helper in the share).
+    """
+    if nranks < 2:
+        raise ValueError(f"alltoall needs >= 2 ranks, got {nranks}")
+    if msg_bytes < 1:
+        raise ValueError(f"msg_bytes must be >= 1, got {msg_bytes}")
+    cluster.validate_ranks(nranks)
+    # block placement spreads ranks as evenly as the spec allows; the
+    # fluid model uses the dominant (fullest-node) density
+    rpn = -(-nranks // cluster.nodes)
+    remote_peers = nranks - rpn
+    local_peers = rpn - 1
+    wire = msg_bytes + (ENCRYPTED_WIRE_OVERHEAD if profile is not None else 0)
+
+    # -- crypto: N seals before, N opens after (Algorithm 1) ------------
+    seal = open_ = 0.0
+    if profile is not None:
+        if pipelined:
+            helpers_share = (cluster.cores_per_node - rpn) // rpn
+            if helper_cores is not None:
+                helpers_share = min(helpers_share, helper_cores)
+            cores = 1 + max(0, helpers_share)
+            waves_out = pipeline_waves(nranks, cores)
+            waves_in = pipeline_waves(nranks, cores)
+        else:
+            waves_out = waves_in = nranks
+        seal = waves_out * profile.encrypt_time(msg_bytes)
+        open_ = waves_in * profile.decrypt_time(msg_bytes)
+
+    # -- rank-core injection costs --------------------------------------
+    inject = (
+        remote_peers * network.send_overhead(wire)
+        + local_peers * network.shm_msg_overhead
+    )
+
+    # -- inter-node drain: bandwidth vs the serialized message engine ---
+    node_bytes = rpn * remote_peers * wire
+    bw_drain = node_bytes / network.nic_capacity
+    engine_drain = rpn * remote_peers * network.nic_service_time(rpn)
+    inter = 0.0
+    if remote_peers:
+        inter = (
+            max(bw_drain, engine_drain)
+            + network.latency
+            + network.proto_delay(wire)
+        )
+
+    # -- intra-node exchange via shared memory --------------------------
+    shm = local_peers * (
+        network.shm_msg_overhead + network.shm_delivery_delay(msg_bytes)
+    )
+
+    return FluidPhases(
+        nranks=nranks,
+        msg_bytes=msg_bytes,
+        cpu_send_seconds=seal + inject,
+        exchange_seconds=max(inter, shm),
+        cpu_recv_seconds=open_ + remote_peers * network.recv_overhead(wire),
+    )
+
+
+def fluid_alltoall_program(phases: FluidPhases):
+    """A generator rank program replaying *phases* in virtual time.
+
+    Every rank yields the same three computed durations — O(1) state
+    per rank, which is what lets the coroutine runtime hold 4096 of
+    them.  Returns the rank's total virtual seconds.
+    """
+
+    def program(ctx):
+        t0 = ctx.now
+        yield from ctx.co_compute(phases.cpu_send_seconds)
+        if phases.exchange_seconds:
+            yield _Sleep(phases.exchange_seconds)
+        yield from ctx.co_compute(phases.cpu_recv_seconds)
+        return ctx.now - t0
+
+    return program

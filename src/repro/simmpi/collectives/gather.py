@@ -40,7 +40,7 @@ def _unpack(payload: bytes, lo: int, hi: int) -> dict[int, bytes]:
     return out
 
 
-def gather(handle, data: bytes, root: int = 0) -> list[bytes] | None:
+def gather(handle, data: bytes, root: int = 0):
     """Gather one chunk per rank to the root (binomial tree, leaves up)."""
     size = handle.size
     handle._check_peer(root)
@@ -52,7 +52,7 @@ def gather(handle, data: bytes, root: int = 0) -> list[bytes] | None:
     # arrives first in MPICH; order does not change the result).
     for child in reversed(binomial_children(v, size)):
         clo, chi = subtree_span(child, size)
-        payload, _status = handle.recv(
+        payload, _status = yield from handle.co_recv(
             rank_of(child, root, size), tag, _internal=True
         )
         owned.update(_unpack(payload, clo, chi))
@@ -60,7 +60,7 @@ def gather(handle, data: bytes, root: int = 0) -> list[bytes] | None:
         return [owned[vrank_of(r, root, size)] for r in range(size)]
     packed = _pack(owned, lo, hi)
     data_bytes = sum(len(owned[i]) for i in range(lo, hi))
-    handle.send(
+    yield from handle.co_send(
         packed,
         rank_of(binomial_parent(v), root, size),
         tag,
@@ -71,7 +71,7 @@ def gather(handle, data: bytes, root: int = 0) -> list[bytes] | None:
     return None
 
 
-def scatter(handle, chunks: Sequence[bytes] | None, root: int = 0) -> bytes:
+def scatter(handle, chunks: Sequence[bytes] | None, root: int = 0):
     """Scatter one chunk to each rank from the root (binomial tree)."""
     size = handle.size
     handle._check_peer(root)
@@ -83,14 +83,14 @@ def scatter(handle, chunks: Sequence[bytes] | None, root: int = 0) -> bytes:
         owned = {i: as_bytes(chunks[i]) for i in range(size)}
     else:
         parent = rank_of(binomial_parent(v), root, size)
-        payload, _status = handle.recv(parent, tag, _internal=True)
+        payload, _status = yield from handle.co_recv(parent, tag, _internal=True)
         lo, hi = subtree_span(v, size)
         owned = _unpack(payload, lo, hi)
     for child in binomial_children(v, size):
         clo, chi = subtree_span(child, size)
         packed = _pack(owned, clo, chi)
         data_bytes = sum(len(owned[i]) for i in range(clo, chi))
-        handle.send(
+        yield from handle.co_send(
             packed,
             rank_of(child, root, size),
             tag,

@@ -20,7 +20,7 @@ from repro.simmpi.collectives.common import (
 ReduceOp = Callable[[bytes, bytes], bytes]
 
 
-def reduce(handle, data: bytes, op: ReduceOp, root: int = 0) -> bytes | None:
+def reduce(handle, data: bytes, op: ReduceOp, root: int = 0):
     """Binomial-tree reduction to *root*; returns the result there."""
     size = handle.size
     handle._check_peer(root)
@@ -32,15 +32,17 @@ def reduce(handle, data: bytes, op: ReduceOp, root: int = 0) -> bytes | None:
     acc = data
     # Combine children (deepest subtrees last, matching their arrival).
     for child in reversed(binomial_children(v, size)):
-        payload, _status = handle.recv(rank_of(child, root, size), tag, _internal=True)
+        payload, _status = yield from handle.co_recv(
+            rank_of(child, root, size), tag, _internal=True)
         acc = _apply(op, acc, payload)
     if v == 0:
         return acc
-    handle.send(acc, rank_of(binomial_parent(v), root, size), tag, _internal=True)
+    yield from handle.co_send(acc, rank_of(binomial_parent(v), root, size), tag,
+                              _internal=True)
     return None
 
 
-def allreduce(handle, data: bytes, op: ReduceOp) -> bytes:
+def allreduce(handle, data: bytes, op: ReduceOp):
     """Recursive-doubling allreduce (with non-power-of-two fold-in)."""
     size, rank = handle.size, handle.rank
     data = as_bytes(data)
@@ -57,17 +59,18 @@ def allreduce(handle, data: bytes, op: ReduceOp) -> bytes:
     # Fold-in: the top `extra` ranks ship their value to a partner in
     # the power-of-two block and sit out the exchange.
     if rank >= pow2:
-        handle.send(acc, rank - pow2, tag, _internal=True)
+        yield from handle.co_send(acc, rank - pow2, tag, _internal=True)
         acc = None
     elif rank < extra:
-        payload, _status = handle.recv(rank + pow2, tag, _internal=True)
+        payload, _status = yield from handle.co_recv(rank + pow2, tag,
+                                                     _internal=True)
         acc = _apply(op, acc, payload)
 
     if acc is not None:
         mask = 1
         while mask < pow2:
             partner = rank ^ mask
-            received, _status = handle.sendrecv(
+            received, _status = yield from handle.co_sendrecv(
                 acc, partner, partner, tag, tag, _internal=True
             )
             acc = _apply(op, acc, received)
@@ -75,9 +78,9 @@ def allreduce(handle, data: bytes, op: ReduceOp) -> bytes:
 
     # Fold-out: send the final value back to the folded ranks.
     if rank < extra:
-        handle.send(acc, rank + pow2, tag, _internal=True)
+        yield from handle.co_send(acc, rank + pow2, tag, _internal=True)
     elif rank >= pow2:
-        acc, _status = handle.recv(rank - pow2, tag, _internal=True)
+        acc, _status = yield from handle.co_recv(rank - pow2, tag, _internal=True)
     assert acc is not None
     return acc
 

@@ -16,7 +16,7 @@ from repro.simmpi.collectives.reduce import ReduceOp, _apply, reduce as _reduce
 from repro.simmpi.message import as_bytes
 
 
-def reduce_scatter(handle, chunks: Sequence[bytes], op: ReduceOp) -> bytes:
+def reduce_scatter(handle, chunks: Sequence[bytes], op: ReduceOp):
     """Element-wise reduce chunk i over all ranks; rank i keeps chunk i.
 
     All ranks must pass ``p`` chunks; chunk i must have the same length
@@ -32,7 +32,7 @@ def reduce_scatter(handle, chunks: Sequence[bytes], op: ReduceOp) -> bytes:
     if not is_power_of_two(p):
         # Fallback: tree-reduce the concatenation, then scatter.
         lengths = [len(data[i]) for i in range(p)]
-        total = _reduce_concat(handle, data, lengths, op, tag)
+        total = yield from _reduce_concat(handle, data, lengths, op, tag)
         if rank == 0:
             assert total is not None
             out_chunks: list[bytes] = []
@@ -42,7 +42,7 @@ def reduce_scatter(handle, chunks: Sequence[bytes], op: ReduceOp) -> bytes:
                 offset += n
         else:
             out_chunks = None  # type: ignore[assignment]
-        return _scatter(handle, out_chunks, root=0)
+        return (yield from _scatter(handle, out_chunks, root=0))
 
     lo, hi = 0, p
     mask = p >> 1
@@ -61,9 +61,10 @@ def reduce_scatter(handle, chunks: Sequence[bytes], op: ReduceOp) -> bytes:
         )
         wire = sum(len(data[i]) for i in range(send_lo, send_hi))
         rreq = handle.irecv(partner, tag, _internal=True)
-        handle.isend(payload, partner, tag, wire_bytes=wire,
-                     payload_bytes=wire, _internal=True).wait()
-        received = rreq.wait()
+        sreq = yield from handle.co_isend(payload, partner, tag, wire_bytes=wire,
+                                          payload_bytes=wire, _internal=True)
+        yield from sreq.co_wait()
+        received = yield from rreq.co_wait()
         offset = 0
         for i in range(keep_lo, keep_hi):
             n = int.from_bytes(received[offset : offset + 4], "big")
@@ -78,7 +79,7 @@ def reduce_scatter(handle, chunks: Sequence[bytes], op: ReduceOp) -> bytes:
     return data[rank]
 
 
-def _reduce_concat(handle, data, lengths, op: ReduceOp, tag: int) -> bytes | None:
+def _reduce_concat(handle, data, lengths, op: ReduceOp, tag: int):
     """Reduce the concatenation of all chunks to rank 0 (helper for the
     non-power-of-two fallback); returns the result on rank 0."""
     blob = b"".join(data[i] for i in range(handle.size))
@@ -91,10 +92,10 @@ def _reduce_concat(handle, data, lengths, op: ReduceOp, tag: int) -> bytes | Non
             offset += n
         return b"".join(out)
 
-    return _reduce(handle, blob, concat_op, root=0)
+    return (yield from _reduce(handle, blob, concat_op, root=0))
 
 
-def scan(handle, data: bytes, op: ReduceOp) -> bytes:
+def scan(handle, data: bytes, op: ReduceOp):
     """Inclusive prefix reduction: rank r gets op over ranks 0..r."""
     p, rank = handle.size, handle.rank
     data = as_bytes(data)
@@ -107,12 +108,14 @@ def scan(handle, data: bytes, op: ReduceOp) -> bytes:
     while distance < p:
         sreq = None
         if rank + distance < p:
-            sreq = handle.isend(carry, rank + distance, tag, _internal=True)
+            sreq = yield from handle.co_isend(carry, rank + distance, tag,
+                                              _internal=True)
         if rank - distance >= 0:
-            received, _status = handle.recv(rank - distance, tag, _internal=True)
+            received, _status = yield from handle.co_recv(rank - distance, tag,
+                                                          _internal=True)
             result = _apply(op, received, result)
             carry = _apply(op, received, carry)
         if sreq is not None:
-            sreq.wait()
+            yield from sreq.co_wait()
         distance <<= 1
     return result

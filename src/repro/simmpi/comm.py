@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Sequence
 
-from repro.des.process import Scheduler
+from repro.des.process import Scheduler, _Sleep, run_blocking
 from repro.simmpi import collectives as _coll
 from repro.simmpi.message import (
     ANY_SOURCE,
@@ -119,6 +119,17 @@ class CommHandle:
     def isend(self, data: bytes, dest: int, tag: int = 0, *, wire_bytes: int = -1,
               payload_bytes: int = -1, _internal: bool = False,
               _reseal=None) -> Request:
+        """Blocking spelling of :meth:`co_isend` (thread ranks)."""
+        return run_blocking(
+            self._comm.scheduler,
+            self.co_isend(data, dest, tag, wire_bytes=wire_bytes,
+                          payload_bytes=payload_bytes, _internal=_internal,
+                          _reseal=_reseal),
+        )
+
+    def co_isend(self, data: bytes, dest: int, tag: int = 0, *,
+                 wire_bytes: int = -1, payload_bytes: int = -1,
+                 _internal: bool = False, _reseal=None):
         """Non-blocking send; completes when the buffer is reusable.
 
         ``payload_bytes`` overrides traffic accounting for payloads that
@@ -152,7 +163,9 @@ class CommHandle:
             san.note_post(req, kind="send", rank=env.src, peer=env.dst,
                           tag=tag, nbytes=len(payload),
                           now=self._comm.scheduler.now)
-        self._comm.transport.isend(env, lambda: req.complete(None))
+        yield from self._comm.transport.co_isend(
+            env, lambda: req.complete(None)
+        )
         return req
 
     def send(self, data: bytes, dest: int, tag: int = 0, *, wire_bytes: int = -1,
@@ -160,6 +173,16 @@ class CommHandle:
         """Blocking send (returns when the send buffer is reusable)."""
         self.isend(data, dest, tag, wire_bytes=wire_bytes,
                    payload_bytes=payload_bytes, _internal=_internal).wait()
+
+    def co_send(self, data: bytes, dest: int, tag: int = 0, *,
+                wire_bytes: int = -1, payload_bytes: int = -1,
+                _internal: bool = False):
+        """Generator form of :meth:`send`."""
+        req = yield from self.co_isend(
+            data, dest, tag, wire_bytes=wire_bytes,
+            payload_bytes=payload_bytes, _internal=_internal,
+        )
+        yield from req.co_wait()
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
               _internal: bool = False, _require_id: int | None = None) -> Request:
@@ -221,13 +244,14 @@ class CommHandle:
             match_source, tag, self._comm_id, on_match, require_id=_require_id
         )
 
-        def postprocess(payload: bytes) -> bytes:
+        def postprocess(payload: bytes):
             # Receiver-side per-message CPU cost (matching / copy-out),
-            # charged in the waiting rank's context.
+            # charged in the waiting rank's context (generator hook:
+            # Request.co_wait drives it under either runtime).
             env = req._match_env
             overhead = env.info.get("recv_overhead", 0.0) if env is not None else 0.0
             if overhead:
-                sched.current().sleep(overhead)
+                yield _Sleep(overhead)
             return payload
 
         req.set_postprocess(postprocess)
@@ -259,91 +283,199 @@ class CommHandle:
         assert rreq.status is not None
         return data, rreq.status
 
+    def co_recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, *,
+                _internal: bool = False):
+        """Generator form of :meth:`recv`."""
+        req = self.irecv(source, tag, _internal=_internal)
+        data = yield from req.co_wait()
+        assert req.status is not None
+        return data, req.status
+
+    def co_sendrecv(
+        self,
+        senddata: bytes,
+        dest: int,
+        recvsource: int = ANY_SOURCE,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+        *,
+        _internal: bool = False,
+    ):
+        """Generator form of :meth:`sendrecv`."""
+        rreq = self.irecv(recvsource, recvtag, _internal=_internal)
+        sreq = yield from self.co_isend(senddata, dest, sendtag,
+                                        _internal=_internal)
+        data = yield from rreq.co_wait()
+        yield from sreq.co_wait()
+        assert rreq.status is not None
+        return data, rreq.status
+
     @staticmethod
     def waitall(requests: list[Request]) -> list:
         return waitall(requests)
+
+    @staticmethod
+    def co_waitall(requests: list[Request]):
+        """Generator form of :meth:`waitall`."""
+        values = []
+        for req in requests:
+            values.append((yield from req.co_wait()))
+        return values
 
     # ------------------------------------------------------------------
     # collectives (§IV list + NAS requirements)
     # ------------------------------------------------------------------
 
-    def _run_collective(self, op: str, fn, **meta):
-        """Run one collective, bracketed by coll_begin/coll_end events."""
+    def _co_run_collective(self, op: str, gen, **meta):
+        """Run one collective (a generator from :mod:`repro.simmpi.collectives`),
+        bracketed by coll_begin/coll_end events."""
         rec = self._comm.recorder
         if rec is None:
-            return fn()
+            return (yield from gen)
         g = self._global_rank(self.rank)
         rec.emit("collective", "coll_begin", g, op=op, **meta)
         rec.rank_counters(g).collectives += 1
-        out = fn()
+        out = yield from gen
         rec.emit("collective", "coll_end", g, op=op)
         return out
 
+    def _run_collective(self, op: str, gen, **meta):
+        """Blocking spelling of :meth:`_co_run_collective`."""
+        return run_blocking(
+            self._comm.scheduler, self._co_run_collective(op, gen, **meta)
+        )
+
     def barrier(self) -> None:
-        self._run_collective("barrier", lambda: _coll.barrier(self))
+        self._run_collective("barrier", _coll.barrier(self))
+
+    def co_barrier(self):
+        yield from self._co_run_collective("barrier", _coll.barrier(self))
 
     def bcast(self, data: bytes | None, root: int = 0, *,
               nbytes: int | None = None) -> bytes:
         return self._run_collective(
-            "bcast", lambda: _coll.bcast(self, data, root, nbytes=nbytes),
+            "bcast", _coll.bcast(self, data, root, nbytes=nbytes),
             root=root,
             bytes=len(data) if data is not None else (nbytes or 0),
         )
 
+    def co_bcast(self, data: bytes | None, root: int = 0, *,
+                 nbytes: int | None = None):
+        return (yield from self._co_run_collective(
+            "bcast", _coll.bcast(self, data, root, nbytes=nbytes),
+            root=root,
+            bytes=len(data) if data is not None else (nbytes or 0),
+        ))
+
     def gather(self, data: bytes, root: int = 0) -> list[bytes] | None:
         return self._run_collective(
-            "gather", lambda: _coll.gather(self, data, root),
+            "gather", _coll.gather(self, data, root),
             root=root, bytes=len(data),
         )
 
+    def co_gather(self, data: bytes, root: int = 0):
+        return (yield from self._co_run_collective(
+            "gather", _coll.gather(self, data, root),
+            root=root, bytes=len(data),
+        ))
+
     def scatter(self, chunks: Sequence[bytes] | None, root: int = 0) -> bytes:
         return self._run_collective(
-            "scatter", lambda: _coll.scatter(self, chunks, root),
+            "scatter", _coll.scatter(self, chunks, root),
             root=root,
             bytes=sum(len(c) for c in chunks) if chunks is not None else 0,
         )
 
+    def co_scatter(self, chunks: Sequence[bytes] | None, root: int = 0):
+        return (yield from self._co_run_collective(
+            "scatter", _coll.scatter(self, chunks, root),
+            root=root,
+            bytes=sum(len(c) for c in chunks) if chunks is not None else 0,
+        ))
+
     def allgather(self, data: bytes) -> list[bytes]:
         return self._run_collective(
-            "allgather", lambda: _coll.allgather(self, data), bytes=len(data)
+            "allgather", _coll.allgather(self, data), bytes=len(data)
         )
+
+    def co_allgather(self, data: bytes):
+        return (yield from self._co_run_collective(
+            "allgather", _coll.allgather(self, data), bytes=len(data)
+        ))
 
     def alltoall(self, chunks: Sequence[bytes]) -> list[bytes]:
         return self._run_collective(
-            "alltoall", lambda: _coll.alltoall(self, chunks),
+            "alltoall", _coll.alltoall(self, chunks),
             bytes=sum(len(c) for c in chunks),
         )
 
+    def co_alltoall(self, chunks: Sequence[bytes]):
+        return (yield from self._co_run_collective(
+            "alltoall", _coll.alltoall(self, chunks),
+            bytes=sum(len(c) for c in chunks),
+        ))
+
     def alltoallv(self, chunks: Sequence[bytes]) -> list[bytes]:
         return self._run_collective(
-            "alltoallv", lambda: _coll.alltoallv(self, chunks),
+            "alltoallv", _coll.alltoallv(self, chunks),
             bytes=sum(len(c) for c in chunks),
         )
+
+    def co_alltoallv(self, chunks: Sequence[bytes]):
+        return (yield from self._co_run_collective(
+            "alltoallv", _coll.alltoallv(self, chunks),
+            bytes=sum(len(c) for c in chunks),
+        ))
 
     def reduce(self, data: bytes, op: Callable[[bytes, bytes], bytes],
                root: int = 0) -> bytes | None:
         return self._run_collective(
-            "reduce", lambda: _coll.reduce(self, data, op, root),
+            "reduce", _coll.reduce(self, data, op, root),
             root=root, bytes=len(data),
         )
 
+    def co_reduce(self, data: bytes, op: Callable[[bytes, bytes], bytes],
+                  root: int = 0):
+        return (yield from self._co_run_collective(
+            "reduce", _coll.reduce(self, data, op, root),
+            root=root, bytes=len(data),
+        ))
+
     def allreduce(self, data: bytes, op: Callable[[bytes, bytes], bytes]) -> bytes:
         return self._run_collective(
-            "allreduce", lambda: _coll.allreduce(self, data, op),
+            "allreduce", _coll.allreduce(self, data, op),
             bytes=len(data),
         )
+
+    def co_allreduce(self, data: bytes, op: Callable[[bytes, bytes], bytes]):
+        return (yield from self._co_run_collective(
+            "allreduce", _coll.allreduce(self, data, op),
+            bytes=len(data),
+        ))
 
     def reduce_scatter(self, chunks: Sequence[bytes],
                        op: Callable[[bytes, bytes], bytes]) -> bytes:
         return self._run_collective(
-            "reduce_scatter", lambda: _coll.reduce_scatter(self, chunks, op),
+            "reduce_scatter", _coll.reduce_scatter(self, chunks, op),
             bytes=sum(len(c) for c in chunks),
         )
 
+    def co_reduce_scatter(self, chunks: Sequence[bytes],
+                          op: Callable[[bytes, bytes], bytes]):
+        return (yield from self._co_run_collective(
+            "reduce_scatter", _coll.reduce_scatter(self, chunks, op),
+            bytes=sum(len(c) for c in chunks),
+        ))
+
     def scan(self, data: bytes, op: Callable[[bytes, bytes], bytes]) -> bytes:
         return self._run_collective(
-            "scan", lambda: _coll.scan(self, data, op), bytes=len(data)
+            "scan", _coll.scan(self, data, op), bytes=len(data)
         )
+
+    def co_scan(self, data: bytes, op: Callable[[bytes, bytes], bytes]):
+        return (yield from self._co_run_collective(
+            "scan", _coll.scan(self, data, op), bytes=len(data)
+        ))
 
     # ------------------------------------------------------------------
     # internals
@@ -378,6 +510,10 @@ class CommHandle:
         by (key, old rank); ``color=None`` (MPI_UNDEFINED) participates
         in the call but gets no new communicator.
         """
+        return run_blocking(self._comm.scheduler, self.co_split(color, key))
+
+    def co_split(self, color: int | None, key: int = 0):
+        """Generator form of :meth:`split`."""
         import struct
 
         if color is not None and color < 0:
@@ -386,7 +522,7 @@ class CommHandle:
         packed = struct.pack(
             "<qq?", -1 if color is None else color, key, color is None
         )
-        gathered = _coll.allgather(self, packed)
+        gathered = yield from _coll.allgather(self, packed)
         entries = []
         for old_rank, blob in enumerate(gathered):
             c, k, undefined = struct.unpack("<qq?", blob)
@@ -434,13 +570,17 @@ class CommHandle:
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: wait until a matching message is available
         (it stays queued; a subsequent recv consumes it)."""
+        return run_blocking(self._comm.scheduler, self.co_probe(source, tag))
+
+    def co_probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Generator form of :meth:`probe`."""
         match_source = (
             source if source == ANY_SOURCE else self._global_rank(source)
         )
         engine = self._comm.transport.engines[self._global_rank(self.rank)]
         ready = self._comm.scheduler.event()
         engine.post_probe(match_source, tag, self._comm_id, ready.succeed)
-        env = ready.wait()
+        env = yield ready
         return Status(
             source=self._local_rank(env.src), tag=env.tag, count=len(env.payload)
         )

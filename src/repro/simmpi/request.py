@@ -3,9 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import GeneratorType
 from typing import Any, Callable
 
-from repro.des.process import Scheduler, SimEvent
+from repro.des.process import Scheduler, SimEvent, run_blocking
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,7 @@ class Request:
         if kind not in ("send", "recv"):
             raise ValueError(f"bad request kind {kind!r}")
         self.kind = kind
+        self._scheduler = scheduler
         self._event: SimEvent = scheduler.event()
         self._postprocess: Callable[[Any], Any] | None = None
         self._waited = False
@@ -54,7 +56,12 @@ class Request:
     # -- user side ------------------------------------------------------------
 
     def set_postprocess(self, fn: Callable[[Any], Any]) -> None:
-        """Install a hook run (once) in the waiting rank after completion."""
+        """Install a hook run (once) in the waiting rank after completion.
+
+        The hook may be a plain function or a generator function (one
+        that charges virtual time by yielding ``_Sleep``/events) — the
+        encrypted layer decrypts there, and decryption costs time.
+        """
         if self._postprocess is not None:
             raise RuntimeError("postprocess hook already set")
         self._postprocess = fn
@@ -64,19 +71,35 @@ class Request:
         """MPI_Test semantics: has the operation finished (no blocking)?"""
         return self._event.done
 
-    def wait(self) -> Any:
-        """Block until complete; idempotent like MPI_Wait on a request."""
-        value = self._event.wait()
+    def co_wait(self):
+        """Wait for completion; generator form (the single
+        implementation — :meth:`wait` derives the blocking spelling)."""
+        value = yield self._event
         if self._san_op is not None:
             self._san_op.mark_waited()
         if not self._waited:
             self._waited = True
             if self._postprocess is not None:
-                value = self._postprocess(value)
+                out = self._postprocess(value)
+                if isinstance(out, GeneratorType):
+                    out = yield from out
+                value = out
                 self._cached = value
         elif self._postprocess is not None:
             value = self._cached
         return value
+
+    def wait(self) -> Any:
+        """Block until complete; idempotent like MPI_Wait on a request."""
+        return run_blocking(self._scheduler, self.co_wait())
+
+
+def co_waitall(requests: list[Request]):
+    """Generator form of :func:`waitall`."""
+    values = []
+    for req in requests:
+        values.append((yield from req.co_wait()))
+    return values
 
 
 def waitall(requests: list[Request]) -> list[Any]:

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.des.process import Scheduler, SimEvent
+from repro.des.process import Scheduler, SimEvent, _Sleep, run_blocking
 from repro.simmpi.matching import MatchingEngine
 from repro.simmpi.message import Envelope
 from repro.simmpi.topology import ClusterRuntime
@@ -73,9 +73,13 @@ class Transport:
     # ------------------------------------------------------------------
 
     def isend(self, env: Envelope, on_sent: Callable[[], None]) -> None:
+        """Blocking spelling of :meth:`co_isend` (thread ranks)."""
+        run_blocking(self.sched, self.co_isend(env, on_sent))
+
+    def co_isend(self, env: Envelope, on_sent: Callable[[], None]):
         """Inject *env*; runs in the sending rank's process context.
 
-        Blocks the caller only for the injection overhead.  *on_sent*
+        Suspends the caller only for the injection overhead.  *on_sent*
         fires when the send buffer is reusable (eager: immediately after
         injection; rendezvous: when the payload transfer completes).
         """
@@ -108,17 +112,16 @@ class Transport:
         if self.resilience is not None:
             self.resilience.track(env)
         if self.cluster.same_node(env.src, env.dst):
-            self._send_shm(env, size, on_sent)
+            yield from self._co_send_shm(env, size, on_sent)
         elif self.net.is_eager(size):
-            self._send_eager(env, size, on_sent)
+            yield from self._co_send_eager(env, size, on_sent)
         else:
-            self._send_rendezvous(env, size, on_sent)
+            yield from self._co_send_rendezvous(env, size, on_sent)
 
     # -- shared memory ---------------------------------------------------
 
-    def _send_shm(self, env: Envelope, size: int, on_sent: Callable[[], None]) -> None:
-        proc = self.sched.current()
-        proc.sleep(self.net.shm_msg_overhead)
+    def _co_send_shm(self, env: Envelope, size: int, on_sent: Callable[[], None]):
+        yield _Sleep(self.net.shm_msg_overhead)
         env.info["recv_overhead"] = self.net.shm_msg_overhead
         self._emit_wire_start(env, size)
         self._deliver_after(env, self.net.shm_delivery_delay(size))
@@ -126,14 +129,16 @@ class Transport:
 
     # -- eager -------------------------------------------------------------
 
-    def _send_eager(self, env: Envelope, size: int, on_sent: Callable[[], None]) -> None:
+    def _co_send_eager(self, env: Envelope, size: int, on_sent: Callable[[], None]):
         node = self.cluster.node_of(env.src)
-        proc = self.sched.current()
         node.active_senders += 1
         try:
-            proc.sleep(self.net.send_overhead(size))
-            with node.nic_engine:
-                proc.sleep(self.net.nic_service_time(node.active_senders))
+            yield _Sleep(self.net.send_overhead(size))
+            yield from node.nic_engine.co_acquire()
+            try:
+                yield _Sleep(self.net.nic_service_time(node.active_senders))
+            finally:
+                node.nic_engine.release()
         finally:
             node.active_senders -= 1
         env.info["recv_overhead"] = self.net.recv_overhead(size)
@@ -151,16 +156,18 @@ class Transport:
 
     # -- rendezvous ---------------------------------------------------------
 
-    def _send_rendezvous(
+    def _co_send_rendezvous(
         self, env: Envelope, size: int, on_sent: Callable[[], None]
-    ) -> None:
+    ):
         node = self.cluster.node_of(env.src)
-        proc = self.sched.current()
         node.active_senders += 1
         try:
-            proc.sleep(self.net.send_overhead(size))
-            with node.nic_engine:
-                proc.sleep(self.net.nic_service_time(node.active_senders))
+            yield _Sleep(self.net.send_overhead(size))
+            yield from node.nic_engine.co_acquire()
+            try:
+                yield _Sleep(self.net.nic_service_time(node.active_senders))
+            finally:
+                node.nic_engine.release()
         finally:
             node.active_senders -= 1
 

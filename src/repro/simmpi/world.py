@@ -8,11 +8,13 @@ job's virtual makespan.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.des.engine import DeadlockError
-from repro.des.process import Scheduler
+from repro.des.options import EngineOptions, resolve_engine_options
+from repro.des.process import Scheduler, _Sleep
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
 from repro.models.network import NetworkModel, get_network
 from repro.simmpi.comm import CommHandle, Communicator
@@ -66,6 +68,13 @@ class RankContext:
             raise ValueError(f"negative compute time: {seconds}")
         if seconds:
             self._scheduler.current().sleep(seconds)
+
+    def co_compute(self, seconds: float):
+        """Generator form of :meth:`compute` (coroutine ranks)."""
+        if seconds < 0:
+            raise ValueError(f"negative compute time: {seconds}")
+        if seconds:
+            yield _Sleep(seconds)
 
     def extra_cores(self) -> "ExtraCores":
         """Access to the node's idle cores (the multi-threaded
@@ -131,6 +140,7 @@ def run_program(
     fault_injector=None,
     sanitize: bool | None = None,
     resilience=None,
+    engine: EngineOptions | str | None = None,
 ) -> SimResult:
     """Run *program* on *nranks* simulated ranks; returns a SimResult.
 
@@ -161,6 +171,16 @@ def run_program(
     timers with deterministic backoff, NACK+fresh-nonce retransmission
     of auth failures, and policy-driven escalation.  Unset, the
     transport behaves byte-identically to before.
+
+    ``engine`` (an :class:`repro.des.options.EngineOptions`, a spec
+    string for :func:`repro.des.options.parse_engine_options`, or None
+    for the process default) picks the rank runtime: under
+    ``"coroutines"`` generator programs are stepped directly in the
+    engine context (no thread handoffs — this is what lets the scale
+    experiment reach 4096 ranks); ``"threads"`` is the historical
+    thread-per-rank fallback; ``"auto"`` (default) chooses coroutines
+    exactly when *program* is a generator function.  Both runtimes
+    produce byte-identical schedules.
     """
     from repro.analysis.sanitize import (
         Sanitizer,
@@ -168,8 +188,28 @@ def run_program(
         resolve_sanitize,
     )
 
+    opts = resolve_engine_options(engine)
+    if nranks > opts.max_ranks:
+        raise ValueError(
+            f"nranks={nranks} exceeds EngineOptions.max_ranks="
+            f"{opts.max_ranks}; raise max_ranks if this is intentional"
+        )
+    is_gen_program = inspect.isgeneratorfunction(program)
+    if opts.runtime == "coroutines" and not is_gen_program:
+        raise TypeError(
+            f"EngineOptions(runtime='coroutines') needs a generator rank "
+            f"program, but {getattr(program, '__name__', program)!r} is a "
+            "plain function; use runtime='threads' (or 'auto') for "
+            "blocking programs"
+        )
+    mode = (
+        "coroutines"
+        if opts.runtime == "coroutines"
+        or (opts.runtime == "auto" and is_gen_program)
+        else "threads"
+    )
     net = get_network(network) if isinstance(network, str) else network
-    scheduler = Scheduler()
+    scheduler = Scheduler(runtime=mode, handoff_check=opts.handoff_check)
     recorder, comm_trace = resolve_trace(trace)
     runtime = ClusterRuntime(scheduler, cluster, net, nranks, placement,
                              recorder)
@@ -195,9 +235,9 @@ def run_program(
     results: list[Any] = [None] * nranks
     spans: list[tuple[float, float]] = [(0.0, 0.0)] * nranks
 
-    def rank_main(rank: int) -> None:
+    def rank_main(rank: int):
         node = runtime.node_of(rank)
-        node.cores.acquire()
+        yield from node.cores.co_acquire()
         start = scheduler.now
         if recorder is not None:
             recorder.emit("engine", "proc_start", rank,
@@ -205,7 +245,10 @@ def run_program(
         ctx = RankContext(communicator.handle(rank), scheduler, runtime,
                           recorder, sanitizer, manager)
         try:
-            results[rank] = program(ctx)
+            if is_gen_program:
+                results[rank] = yield from program(ctx)
+            else:
+                results[rank] = program(ctx)
         finally:
             spans[rank] = (start, scheduler.now)
             if recorder is not None:

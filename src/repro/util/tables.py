@@ -81,6 +81,8 @@ class Figure:
     y_label: str
     series: list[FigureSeries] = field(default_factory=list)
     log_y: bool = False
+    #: render x values as plain counts (rank/pair axes), never as bytes
+    plain_x: bool = False
 
     def add_series(self, label: str, points: Iterable[tuple[int, float]]) -> None:
         pts = sorted(points)
@@ -92,7 +94,7 @@ class Figure:
         xs = sorted({x for s in self.series for x, _ in s.points})
         table = Table(
             f"{self.title}   [y: {self.y_label}, x: {self.x_label}]",
-            [_x_label(x) for x in xs],
+            [str(x) if self.plain_x else _x_label(x) for x in xs],
         )
         for s in self.series:
             by_x = dict(s.points)

@@ -13,10 +13,10 @@ from dataclasses import replace
 
 from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
 from repro.encmpi.plan import apply_default_plan
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.simmpi import run_program
 
-MULTIPAIR_CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)
+MULTIPAIR_CLUSTER = parse_cluster_spec("2x8")
 
 #: OSU defaults: 64-message window; the paper runs 100 iterations — in
 #: the deterministic simulator two post-warmup iterations suffice.
@@ -49,35 +49,65 @@ def multipair_aggregate_throughput(
     payload = b"\x5a" * size
     nranks = 2 * pairs
     per_pair_rate: list[float] = [0.0] * pairs
+    plan = None
+    if library is not None:
+        base = crypto if crypto is not None \
+            else apply_default_plan(CryptoPlan())
+        plan = replace(base, library=library, bytework="modeled")
 
-    def program(ctx):
+    def co_program(ctx):
         # Senders are ranks [0, pairs) on node 0; receivers are
         # [pairs, 2*pairs) on node 1 (block placement puts the first
         # `pairs` ranks on node 0 only if pairs <= cores; we place
         # explicitly through a round-robin-safe mapping below).
-        if library is None:
+        if plan is None:
             comm = ctx.comm
-            isend = lambda d, p: comm.isend(p, d, tag=0)
+            co_isend = lambda d, p: comm.co_isend(p, d, tag=0)
             irecv = lambda s: comm.irecv(s, 0)
-            waitall = comm.waitall
+            co_waitall = comm.co_waitall
         else:
-            base = crypto if crypto is not None \
-                else apply_default_plan(CryptoPlan())
             enc = EncryptedComm(
-                ctx,
-                SecurityConfig(
-                    key_bits=key_bits,
-                    crypto=replace(base, library=library,
-                                   bytework="modeled"),
-                ),
+                ctx, SecurityConfig(key_bits=key_bits, crypto=plan),
             )
-            isend = lambda d, p: enc.isend(p, d, tag=0)
+            co_isend = lambda d, p: enc.co_isend(p, d, tag=0)
             irecv = lambda s: enc.irecv(s, 0)
-            waitall = enc.waitall
+            co_waitall = enc.co_waitall
 
         if ctx.rank < pairs:  # sender
             peer = ctx.rank + pairs
             # warmup window
+            reqs = []
+            for _ in range(window):
+                reqs.append((yield from co_isend(peer, payload)))
+            yield from co_waitall(reqs)
+            yield from irecv(peer).co_wait()
+            t0 = ctx.now
+            for _ in range(iters):
+                reqs = []
+                for _ in range(window):
+                    reqs.append((yield from co_isend(peer, payload)))
+                yield from co_waitall(reqs)
+                yield from irecv(peer).co_wait()
+            elapsed = ctx.now - t0
+            per_pair_rate[ctx.rank] = size * window * iters / elapsed
+        else:  # receiver
+            peer = ctx.rank - pairs
+            for _ in range(iters + 1):
+                yield from co_waitall([irecv(peer) for _ in range(window)])
+                sreq = yield from co_isend(peer, b"\x00" * 4)
+                yield from sreq.co_wait()
+
+    def thread_program(ctx):
+        # blocking spelling, kept for the cryptmpi chunk pipeline
+        # (thread-runtime only — see repro.encmpi.pipeline)
+        enc = EncryptedComm(
+            ctx, SecurityConfig(key_bits=key_bits, crypto=plan),
+        )
+        isend = lambda d, p: enc.isend(p, d, tag=0)
+        irecv = lambda s: enc.irecv(s, 0)
+        waitall = enc.waitall
+        if ctx.rank < pairs:  # sender
+            peer = ctx.rank + pairs
             waitall([isend(peer, payload) for _ in range(window)])
             irecv(peer).wait()
             t0 = ctx.now
@@ -92,5 +122,12 @@ def multipair_aggregate_throughput(
                 waitall([irecv(peer) for _ in range(window)])
                 isend(peer, b"\x00" * 4).wait()
 
-    run_program(nranks, program, network=network, cluster=MULTIPAIR_CLUSTER)
+    pipelined = plan is not None and plan.pipelined
+    run_program(
+        nranks,
+        thread_program if pipelined else co_program,
+        network=network,
+        cluster=MULTIPAIR_CLUSTER,
+        engine="threads" if pipelined else None,
+    )
     return sum(per_pair_rate)

@@ -12,14 +12,14 @@ from dataclasses import replace
 
 from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
 from repro.encmpi.plan import apply_default_plan
-from repro.models.cpu import ClusterSpec
+from repro.models.cpu import parse_cluster_spec
 from repro.simmpi import run_program
 from repro.simmpi.faults import FaultPlan
 from repro.simmpi.resilience import ResiliencePolicy
 
 #: Two nodes, processes on different nodes ("All ping-pong results use
 #: two processes on different nodes", §V).
-PINGPONG_CLUSTER = ClusterSpec(nodes=2, cores_per_node=8)
+PINGPONG_CLUSTER = parse_cluster_spec("2x8")
 
 #: The paper iterates 10,000 / 1,000 times for statistics on real
 #: hardware; the simulator is deterministic and stationary, so a few
@@ -61,37 +61,51 @@ def pingpong_oneway_time(
     if iters < 1:
         raise ValueError(f"iters must be >= 1, got {iters}")
     payload = b"\xa5" * size
+    plan = None
+    if library is not None:
+        base = crypto if crypto is not None \
+            else apply_default_plan(CryptoPlan())
+        plan = replace(base, library=library, bytework="modeled")
 
-    def program(ctx):
-        if library is None:
+    def co_program(ctx):
+        """Generator rank program — runs as a coroutine under
+        runtime='auto'/'coroutines' (and byte-identically on threads
+        through :func:`repro.des.process.run_blocking`)."""
+        if plan is None:
             comm = ctx.comm
-
-            def send(d, p):  # (dest, payload)
-                comm.send(p, d, tag=TAG_PINGPONG)
-
-            def recv(s):
-                return comm.recv(s, TAG_PINGPONG)[0]
-
+            send = lambda d, p: comm.co_send(p, d, tag=TAG_PINGPONG)
+            recv = lambda s: comm.co_recv(s, TAG_PINGPONG)
         else:
-            base = crypto if crypto is not None \
-                else apply_default_plan(CryptoPlan())
             enc = EncryptedComm(
-                ctx,
-                SecurityConfig(
-                    key_bits=key_bits,
-                    crypto=replace(base, library=library,
-                                   bytework="modeled"),
-                ),
+                ctx, SecurityConfig(key_bits=key_bits, crypto=plan),
             )
-
-            def send(d, p):
-                enc.send(p, d, tag=TAG_PINGPONG)
-
-            def recv(s):
-                return enc.recv(s, TAG_PINGPONG)[0]
+            send = lambda d, p: enc.co_send(p, d, tag=TAG_PINGPONG)
+            recv = lambda s: enc.co_recv(s, TAG_PINGPONG)
 
         if ctx.rank == 0:
             # one warmup round trip (excluded)
+            yield from send(1, payload)
+            yield from recv(1)
+            t0 = ctx.now
+            for _ in range(iters):
+                yield from send(1, payload)
+                data, _st = yield from recv(1)
+                assert len(data) == size
+            return (ctx.now - t0) / (2 * iters)
+        for _ in range(iters + 1):
+            data, _st = yield from recv(0)
+            yield from send(0, data)
+        return None
+
+    def thread_program(ctx):
+        """Blocking spelling, kept for the cryptmpi chunk pipeline
+        (thread-runtime only — see repro.encmpi.pipeline)."""
+        enc = EncryptedComm(
+            ctx, SecurityConfig(key_bits=key_bits, crypto=plan),
+        )
+        send = lambda d, p: enc.send(p, d, tag=TAG_PINGPONG)
+        recv = lambda s: enc.recv(s, TAG_PINGPONG)[0]
+        if ctx.rank == 0:
             send(1, payload)
             recv(1)
             t0 = ctx.now
@@ -105,13 +119,15 @@ def pingpong_oneway_time(
             send(0, data)
         return None
 
+    pipelined = plan is not None and plan.pipelined
     result = run_program(
         2,
-        program,
+        thread_program if pipelined else co_program,
         network=network,
         cluster=PINGPONG_CLUSTER,
         fault_injector=faults.build() if faults is not None else None,
         resilience=resilience,
+        engine="threads" if pipelined else None,
     )
     return result.results[0]
 

@@ -8,6 +8,7 @@ from repro.models.cpu import (
     PAPER_CLUSTER,
     TWO_NODE_CLUSTER,
     ClusterSpec,
+    parse_cluster_spec,
     pipeline_waves,
 )
 
@@ -109,3 +110,53 @@ def test_wave_formula_shared():
                     assert plan.waves == pipeline_waves(nchunks, cores)
                 else:
                     assert plan.waves == 1
+
+
+# ------------------------------------------------------- parse_cluster_spec
+
+def test_parse_cluster_spec_round_trips_with_token():
+    for spec in ("8x8", "2x8:ib", "1024x8", "4x2:ethernet"):
+        cluster = parse_cluster_spec(spec)
+        assert cluster.token() == spec
+        assert parse_cluster_spec(cluster.token()) == cluster
+
+
+def test_parse_cluster_spec_matches_the_named_constants():
+    assert parse_cluster_spec("8x8") == PAPER_CLUSTER
+    assert parse_cluster_spec("2x8") == TWO_NODE_CLUSTER
+
+
+def test_parse_cluster_spec_fabric_is_carried_not_parsed():
+    cluster = parse_cluster_spec("2x8:ib")
+    assert (cluster.nodes, cluster.cores_per_node, cluster.fabric) == (2, 8, "ib")
+    # fabric-free spec leaves the field None (token has no colon)
+    assert parse_cluster_spec("2x8").fabric is None
+
+
+@pytest.mark.parametrize("bad", ["8", "x8", "8x", "ax8", "8xb", "8*8", ""])
+def test_parse_cluster_spec_rejects_malformed(bad):
+    with pytest.raises(ValueError, match="NODESxCORES|integer"):
+        parse_cluster_spec(bad)
+
+
+def test_parse_cluster_spec_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        parse_cluster_spec("0x8")
+    with pytest.raises(ValueError):
+        parse_cluster_spec("8x0")
+
+
+def test_cluster_token_used_by_campaign_digest():
+    """The campaign digests cluster shapes through token(): fabric (or
+    any shape change) must flip the digest; an equal spec must not."""
+    from dataclasses import replace
+
+    from repro.experiments.campaign import experiment_config_digest
+    from repro.experiments.registry import get_experiment
+
+    exp = get_experiment("cryptmpi")
+    assert exp.cluster is not None
+    base = experiment_config_digest(exp)
+    assert experiment_config_digest(exp) == base
+    retagged = replace(exp, cluster=parse_cluster_spec("2x8:ib"))
+    assert experiment_config_digest(retagged) != base
