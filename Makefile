@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install check lint check-sanitize check-resilience check-cryptmpi \
+.PHONY: install check lint verify check-conformance check-sanitize \
+	check-resilience check-cryptmpi \
 	check-predict check-scale check-runtime-parity test test-fast test-all \
 	bench bench-baseline bench-pytest \
 	trace-goldens check-tracing-overhead \
@@ -13,9 +14,9 @@ PYTHON ?= python
 # a parallel fast-tier campaign, the warm-cache invariant (second run
 # executes zero runners), a sanitized re-run of the fast tier, and the
 # fault-sweep determinism invariant.
-check: lint test campaign-fast check-campaign-cache check-sanitize \
+check: lint verify test campaign-fast check-campaign-cache check-sanitize \
 	check-resilience check-cryptmpi check-predict check-scale \
-	check-runtime-parity
+	check-runtime-parity check-conformance
 
 # Static misuse analysis (MPI protocol, determinism, crypto) over the
 # tree the repo promises to keep clean; exits nonzero on any finding.
@@ -25,6 +26,26 @@ lint:
 	@command -v ruff >/dev/null 2>&1 \
 		&& ruff check src/repro examples \
 		|| echo "ruff not installed; skipped style pass"
+
+# Flow-sensitive verification: abstract-interpret every rank program in
+# the workload/experiment/example trees, extract its symbolic comm
+# graph, and check match completeness, tag consistency, collective
+# order, deadlock cycles, and crypto taint (MPI1xx/CRY1xx).  Findings
+# already recorded in lint-baseline.json are forgiven; new ones fail.
+verify:
+	$(PYTHON) -m repro.analysis verify --baseline lint-baseline.json
+
+# Static-vs-dynamic conformance: the verifier's predicted comm graph
+# diffed against recorded traces of the fast-tier goldens — zero
+# unexplained dynamic ops — and the report itself must be byte-identical
+# across two runs (the verifier and the simulator are deterministic).
+check-conformance:
+	rm -rf results/conformance
+	mkdir -p results/conformance
+	$(PYTHON) -m repro.analysis conformance > results/conformance/run-a.txt
+	$(PYTHON) -m repro.analysis conformance > results/conformance/run-b.txt
+	diff results/conformance/run-a.txt results/conformance/run-b.txt
+	@echo "check-conformance: fast-tier goldens conform, byte-identical"
 
 # Fast-tier campaign with the runtime sanitizer armed in every cell:
 # deadlock diagnosis, leaked-request tracking, nonce-reuse checks.

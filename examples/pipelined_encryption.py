@@ -17,6 +17,8 @@ absorb the crypto.
 Run:  python examples/pipelined_encryption.py
 """
 
+# verify-sizes: 2  (sender/receiver pair; the pipeline study is 1-to-1)
+
 from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
 from repro.encmpi.pipeline import PipelinedCrypto, plan_pipeline
 from repro.models.cpu import parse_cluster_spec

@@ -14,6 +14,8 @@ ready encrypted communicator on ``ctx.enc``.
 Run:  python examples/quickstart.py
 """
 
+# verify-sizes: 2  (every demo job here is a fixed two-rank exchange)
+
 from repro import api
 from repro.util.units import format_time
 
@@ -39,7 +41,8 @@ def eavesdropper_job(ctx):
     bytes before decrypting: nonce || ciphertext || tag, and the
     plaintext is nowhere in it."""
     if ctx.rank == 0:
-        ctx.enc.send(MESSAGE, 1, tag=0)
+        # the mismatch is the demo: receive the AEAD frame raw
+        ctx.enc.send(MESSAGE, 1, tag=0)  # lint-ok: MPI105
         return None
     wire = ctx.comm.irecv(0, 0).wait()
     assert len(wire) == len(MESSAGE) + 28, "Algorithm 1: l+28 bytes on the wire"
@@ -54,7 +57,8 @@ def tamper_job(ctx):
     from repro.crypto.errors import AuthenticationError
 
     if ctx.rank == 0:
-        ctx.enc.send(MESSAGE, 1, tag=0)
+        # deliberate plain receive of the AEAD frame, to tamper with it
+        ctx.enc.send(MESSAGE, 1, tag=0)  # lint-ok: MPI105
         return None
     wire = bytearray(ctx.comm.irecv(0, 0).wait())
     wire[40] ^= 0x01

@@ -9,7 +9,14 @@ Two halves:
 - the **sanitizer** (:mod:`repro.analysis.sanitize`): a runtime mode of
   the simulator (``run_job(sanitize=True)``, campaign ``--sanitize``)
   that diagnoses deadlocks with a wait-for graph, reports leaked
-  requests at rank exit, and arms nonce-reuse checking on every AEAD.
+  requests at rank exit, and arms nonce-reuse checking on every AEAD;
+- the **verifier** (:mod:`repro.analysis.dataflow`): a flow-sensitive
+  abstract interpreter that extracts each rank program's symbolic
+  communication graph and checks match completeness, tag consistency,
+  collective order, deadlock cycles, and crypto taint hygiene
+  (``python -m repro.analysis verify``, or :func:`repro.api.verify_job`
+  for one workload function), audited against recorded golden traces by
+  :mod:`repro.analysis.conformance`.
 
 See ``ANALYSIS.md`` at the repository root for the rule catalog and the
 suppression syntax.
@@ -20,6 +27,12 @@ from repro.analysis.linter import (
     lint_callable,
     lint_paths,
     lint_source,
+)
+from repro.analysis.dataflow import (
+    VerifyResult,
+    verify_callable,
+    verify_paths,
+    verify_source,
 )
 from repro.analysis.sanitize import (
     DeadlockDiagnosis,
@@ -37,6 +50,7 @@ __all__ = [
     "Sanitizer",
     "SanitizerError",
     "SanitizerReport",
+    "VerifyResult",
     "all_rules",
     "default_sanitize",
     "get_rule",
@@ -44,4 +58,7 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "set_default_sanitize",
+    "verify_callable",
+    "verify_paths",
+    "verify_source",
 ]

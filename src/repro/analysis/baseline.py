@@ -1,0 +1,92 @@
+"""Findings baseline: adopt the linter on a codebase with debt.
+
+A baseline freezes the current findings so ``lint --baseline`` /
+``verify --baseline`` fail only on *new* findings — the ratchet
+pattern: existing debt is tolerated, regressions are not, and fixing a
+baselined finding never breaks the build (stale entries are simply
+unused).
+
+Findings are keyed by ``(path, rule, message)`` with a count, NOT by
+line number: adding an unrelated line above a baselined finding must
+not resurrect it.  The committed file is ``lint-baseline.json`` at the
+repo root (kept out of ``results/``, which ``make clean`` deletes).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.findings import Finding
+
+#: default committed baseline location, relative to the repo root
+BASELINE_FILE = "lint-baseline.json"
+
+_SCHEMA = 1
+
+
+def _key(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path, finding.rule, finding.message)
+
+
+def render_baseline(findings) -> str:
+    """Serialize *findings* to the committed JSON form (sorted, stable)."""
+    counts = Counter(_key(f) for f in findings)
+    entries = [
+        {"path": path, "rule": rule, "message": message, "count": count}
+        for (path, rule, message), count in sorted(counts.items())
+    ]
+    return json.dumps({"schema": _SCHEMA, "findings": entries},
+                      indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(findings, path: str = BASELINE_FILE) -> int:
+    """Write the baseline file; returns the number of distinct entries."""
+    text = render_baseline(findings)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return len(json.loads(text)["findings"])
+
+
+def load_baseline(path: str = BASELINE_FILE) -> Counter:
+    """The baseline as a Counter over (path, rule, message) keys.
+
+    Raises ``ValueError`` on a malformed or wrong-schema file — a bad
+    baseline silently allowing everything would defeat the ratchet.
+    """
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or data.get("schema") != _SCHEMA:
+        raise ValueError(f"{path}: not a schema-{_SCHEMA} lint baseline")
+    counts: Counter = Counter()
+    for entry in data.get("findings", ()):
+        counts[(entry["path"], entry["rule"], entry["message"])] \
+            += int(entry.get("count", 1))
+    return counts
+
+
+def filter_new(findings, baseline: Counter):
+    """Findings not covered by *baseline*.
+
+    Per key, up to the baselined count is forgiven (in source order);
+    any excess — more occurrences than recorded, or a key the baseline
+    has never seen — is returned as new.
+    """
+    remaining = Counter(baseline)
+    new = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    return new
+
+
+__all__ = [
+    "BASELINE_FILE",
+    "filter_new",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
+]

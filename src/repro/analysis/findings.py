@@ -49,7 +49,15 @@ class Finding:
 
 @dataclass(frozen=True)
 class Rule:
-    """A registered check; ``checker`` yields (node, message[, hint])."""
+    """A registered check; ``checker`` yields (node, message[, hint]).
+
+    ``scope`` separates the two engines: ``"module"`` rules are the
+    per-module AST pattern checks the linter runs; ``"program"`` rules
+    are produced by the flow-sensitive verifier
+    (:mod:`repro.analysis.dataflow`), which has no per-module checker —
+    ``checker`` is ``None`` for them and :func:`lint_source` skips
+    them.  Both share the id space, catalog, and suppression grammar.
+    """
 
     id: str
     title: str
@@ -59,6 +67,7 @@ class Rule:
     grounding: str
     checker: Callable[..., Iterator] = field(repr=False, compare=False,
                                              default=None)
+    scope: str = "module"
 
 
 _RULES: dict[str, Rule] = {}
@@ -80,6 +89,26 @@ def rule(id: str, title: str, *, severity: str, summary: str, hint: str,
         return checker
 
     return decorate
+
+
+def declare_rule(id: str, title: str, *, severity: str, summary: str,
+                 hint: str, grounding: str) -> Rule:
+    """Register a program-scope rule (no per-module checker).
+
+    Used by the dataflow verifier for the MPI1xx/CRY1xx ids: findings
+    are produced by interpreting rank programs, not by walking one
+    module's AST, but they flow through the same :class:`Finding`
+    machinery, catalog listing, and ``# lint-ok`` suppressions.
+    """
+    if severity not in SEVERITIES:
+        raise ValueError(f"bad severity {severity!r} for {id}")
+    if id in _RULES:
+        raise ValueError(f"rule {id} already registered")
+    reg = Rule(id=id, title=title, severity=severity, summary=summary,
+               hint=hint, grounding=grounding, checker=None,
+               scope="program")
+    _RULES[id] = reg
+    return reg
 
 
 def all_rules() -> list[Rule]:
@@ -108,5 +137,7 @@ def _ensure_loaded() -> None:
         from repro.analysis import checks_crypto  # noqa: F401
         from repro.analysis import checks_det  # noqa: F401
         from repro.analysis import checks_mpi  # noqa: F401
+        from repro.analysis import dataflow  # noqa: F401  (MPI1xx)
+        from repro.analysis import taint  # noqa: F401  (CRY1xx)
 
         _loaded = True

@@ -1,0 +1,288 @@
+"""Crypto-hygiene taint domain for the static verifier.
+
+The dataflow interpreter (:mod:`repro.analysis.dataflow`) threads taint
+labels through every value it computes; this module owns the labels,
+the source/sink tables, the event records, and the CRY1xx rules they
+produce — the *semantic* upgrades of the syntactic CRY001/CRY002
+pattern checks:
+
+======= ============================================================
+CRY101  key material flows to a log/trace/repr sink (keys in logs
+        outlive the run and the process boundary)
+CRY102  a secret value (key material, or plaintext recovered from an
+        authenticated channel) reaches the plain wire without passing
+        through ``seal``
+CRY103  a (key, nonce) pair repeats across the rank x iteration
+        space — semantic nonce reuse the syntactic constant-nonce
+        check cannot see (e.g. two ranks sharing a counter prefix)
+======= ============================================================
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.commgraph import GraphIssue, Site
+from repro.analysis.findings import declare_rule
+
+#: taint labels
+KEY = "key-material"
+SECRET = "secret-plaintext"
+
+_EMPTY: frozenset = frozenset()
+
+
+class Tainted:
+    """A concrete value carrying taint labels.
+
+    The interpreter strips the wrapper for computation and re-wraps
+    results with the union of operand taints, so taint survives
+    arithmetic, slicing, formatting and f-string interpolation.
+    """
+
+    __slots__ = ("value", "taints")
+
+    def __init__(self, value, taints: frozenset):
+        self.value = value
+        self.taints = frozenset(taints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tainted({self.value!r}, {sorted(self.taints)})"
+
+
+def strip(value):
+    """The underlying value, taint removed."""
+    return value.value if isinstance(value, Tainted) else value
+
+
+def taints_of(value) -> frozenset:
+    if isinstance(value, Tainted):
+        return value.taints
+    return getattr(value, "taints", _EMPTY)
+
+
+def with_taints(value, taints: frozenset):
+    """Re-attach *taints* to *value* (no-op for the empty set)."""
+    if not taints:
+        return value
+    if isinstance(value, Tainted):
+        taints = taints | value.taints
+        value = value.value
+    if hasattr(value, "taints") and isinstance(
+            getattr(value, "taints"), frozenset):
+        try:
+            value.taints = value.taints | taints
+            return value
+        except AttributeError:  # pragma: no cover - frozen model
+            pass
+    return Tainted(value, taints)
+
+
+# ---------------------------------------------------------------------------
+# sources and sinks
+# ---------------------------------------------------------------------------
+
+#: binding a value to a name matching this marks it as key material
+#: ("public"/"pub" names are exempt — public keys may travel plainly)
+_KEY_NAME_RE = re.compile(r"(^|_)keys?(_|$)", re.IGNORECASE)
+_PUBLIC_RE = re.compile(r"pub(lic)?", re.IGNORECASE)
+
+#: names whose values are secrets even without a crypto-derived origin
+_SECRET_NAME_RE = re.compile(r"secret|private|confidential",
+                             re.IGNORECASE)
+
+#: call names that mint key material
+_KEYGEN_RE = re.compile(
+    r"keygen|key_gen|derive_key|session_key|new_key", re.IGNORECASE)
+
+#: callable names that persist their arguments beyond the run
+_SINK_NAMES = frozenset((
+    "print", "log", "debug", "info", "warning", "warn", "error",
+    "critical", "exception", "trace", "emit", "write",
+))
+
+
+def name_taints(name: str) -> frozenset:
+    """Taints implied by binding to *name* (the name-based sources)."""
+    labels = set()
+    if _KEY_NAME_RE.search(name) and not _PUBLIC_RE.search(name):
+        labels.add(KEY)
+        labels.add(SECRET)
+    elif _SECRET_NAME_RE.search(name):
+        labels.add(SECRET)
+    return frozenset(labels)
+
+
+def is_keygen_call(name: str | None) -> bool:
+    return bool(name and _KEYGEN_RE.search(name))
+
+
+def is_sink_call(name: str | None) -> bool:
+    return name in _SINK_NAMES
+
+
+# ---------------------------------------------------------------------------
+# events the interpreter records
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SinkEvent:
+    """A tainted value reached a log/trace/repr sink."""
+
+    site: Site
+    sink: str
+    taints: frozenset
+
+
+@dataclass(frozen=True)
+class WireEvent:
+    """A tainted value was passed to a *plain* (unsealed) send."""
+
+    site: Site
+    op: str
+    taints: frozenset
+
+
+@dataclass(frozen=True)
+class SealEvent:
+    """One AEAD seal: which key, which nonce, issued by which rank.
+
+    ``nonce_id`` is a hashable identity for the nonce value — concrete
+    bytes hash as themselves, counter draws as (prefix, index) — or
+    ``None`` when the nonce is statically unknown/unique (random) and
+    no collision claim can be made.
+    """
+
+    rank: int
+    seq: int
+    site: Site
+    key_id: object
+    nonce_id: object | None
+
+
+# ---------------------------------------------------------------------------
+# the CRY1xx checks over recorded events
+# ---------------------------------------------------------------------------
+
+
+def check_sinks(events: list[SinkEvent]) -> list[GraphIssue]:
+    issues = []
+    seen = set()
+    for ev in events:
+        if KEY not in ev.taints:
+            continue
+        key = (ev.site.path, ev.site.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        issues.append(GraphIssue(
+            "CRY101", ev.site,
+            f"key material flows to {ev.sink}() — logged keys outlive "
+            f"the run and defeat the encryption entirely"))
+    return issues
+
+
+def check_wire(events: list[WireEvent]) -> list[GraphIssue]:
+    issues = []
+    seen = set()
+    for ev in events:
+        labels = ev.taints & {KEY, SECRET}
+        if not labels:
+            continue
+        key = (ev.site.path, ev.site.line)
+        if key in seen:
+            continue
+        seen.add(key)
+        what = "key material" if KEY in labels else \
+            "secret-labeled plaintext"
+        issues.append(GraphIssue(
+            "CRY102", ev.site,
+            f"{what} reaches the wire via plain {ev.op}() without "
+            f"passing through seal — the fabric is the adversary here"))
+    return issues
+
+
+def check_seal_log(seals: list[SealEvent]) -> list[GraphIssue]:
+    """First (key, nonce) collision across the rank x iteration space."""
+    issues = []
+    seen: dict[tuple, SealEvent] = {}
+    reported = set()
+    for ev in sorted(seals, key=lambda e: (e.seq, e.rank)):
+        if ev.nonce_id is None:
+            continue
+        ident = (ev.key_id, ev.nonce_id)
+        first = seen.get(ident)
+        if first is None:
+            seen[ident] = ev
+            continue
+        anchor = (ev.site.path, ev.site.line)
+        if anchor in reported:
+            continue
+        reported.add(anchor)
+        where = (f"rank {first.rank} and rank {ev.rank}"
+                 if first.rank != ev.rank
+                 else f"two seals on rank {ev.rank}")
+        issues.append(GraphIssue(
+            "CRY103", ev.site,
+            f"nonce repeats under one key across the symbolic "
+            f"rank/iteration space ({where} both seal with nonce "
+            f"{_render_nonce(ev.nonce_id)}) — GCM's catastrophic "
+            f"failure mode"))
+    return issues
+
+
+def _render_nonce(nonce_id) -> str:
+    if isinstance(nonce_id, bytes):
+        return "0x" + nonce_id.hex()
+    if isinstance(nonce_id, tuple) and len(nonce_id) == 3 \
+            and nonce_id[0] == "ctr":
+        return f"counter(sender={nonce_id[1]}, n={nonce_id[2]})"
+    return repr(nonce_id)
+
+
+# ---------------------------------------------------------------------------
+# rule declarations (shared findings/suppression machinery)
+# ---------------------------------------------------------------------------
+
+declare_rule(
+    "CRY101",
+    "key material reaches a log sink",
+    severity="error",
+    summary="the dataflow verifier traced key material (keygen results, "
+            "SecurityConfig keys, key-named bindings) into print/log/"
+            "trace output",
+    hint="log key fingerprints at most (length, site of creation); "
+         "never the bytes — redact before formatting",
+    grounding="§III threat model: the fabric and its observers are the "
+              "adversary; logs cross that boundary",
+)
+
+declare_rule(
+    "CRY102",
+    "secret reaches the plain wire",
+    severity="error",
+    summary="a value tainted as key material or authenticated-channel "
+            "plaintext flows into a plain send without passing through "
+            "seal",
+    hint="route secret payloads through EncryptedComm (or seal them "
+         "explicitly) before any comm.send/isend/sendrecv",
+    grounding="the paper's premise: plaintext on the wire is the "
+              "vulnerability encrypted MPI exists to remove",
+)
+
+declare_rule(
+    "CRY103",
+    "nonce can repeat across ranks/iterations",
+    severity="error",
+    summary="interpreting the program over the abstract rank domain "
+            "found two seals under one key with the same nonce "
+            "(constant nonces in loops, shared counter prefixes)",
+    hint="derive the counter prefix from the sender rank "
+         "(CounterNonces(ctx.rank)) or draw random nonces; one "
+         "(key, nonce) pair must never repeat",
+    grounding="§III-A / Algorithm 1: GCM loses confidentiality and "
+              "authenticity on nonce reuse (upgrades CRY001/CRY002 "
+              "from syntactic to semantic)",
+)

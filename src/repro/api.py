@@ -97,6 +97,7 @@ __all__ = [
     "run_campaign",
     "run_job",
     "sweep",
+    "verify_job",
 ]
 
 #: a fault argument: the declarative :class:`FaultPlan` (preferred —
@@ -539,6 +540,27 @@ def lint_job(workload: Callable[[RankContext], Any]):
     from repro.analysis import lint_callable
 
     return lint_callable(workload)
+
+
+def verify_job(workload: Callable[[RankContext], Any], *,
+               sizes: Sequence[int] = (2, 4)):
+    """Flow-sensitively verify one workload function.
+
+    Abstract-interprets the function as a rank program at each world
+    size in *sizes*, extracts its symbolic communication graph, and
+    checks send/recv match completeness, tag consistency, collective
+    call-order agreement, deadlock cycles, and crypto taint hygiene
+    (the MPI1xx/CRY1xx rules — ``python -m repro.analysis rules``).
+    Returns the list of :class:`repro.analysis.Finding`, line numbers
+    anchored to the defining file; a ``# verify-sizes:`` pragma in the
+    defining module overrides *sizes*::
+
+        findings = api.verify_job(my_rank_fn)
+        assert not findings, findings[0].format()
+    """
+    from repro.analysis.dataflow import verify_callable
+
+    return verify_callable(workload, sizes=tuple(sizes)).findings
 
 
 def calibrate_predictor(

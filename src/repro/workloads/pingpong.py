@@ -8,6 +8,8 @@ throughput calculation").
 
 from __future__ import annotations
 
+# verify-sizes: 2  (a strictly two-rank exchange; ranks >= 2 never exist)
+
 from dataclasses import replace
 
 from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig

@@ -1,0 +1,166 @@
+"""``lint --fix``: mechanical rewrites for MPI002 and DET002.
+
+The contract is *fix-then-relint-clean* and *idempotent*: fixed source
+must not re-fire the fixed rules, and fixing already-fixed source must
+change nothing.
+"""
+
+import textwrap
+
+from repro.analysis.autofix import fix_source
+from repro.analysis.linter import lint_source
+
+
+def fix(source: str):
+    return fix_source(textwrap.dedent(source), "<fx>")
+
+
+def fixable_ids(source: str) -> list[str]:
+    return [f.rule for f in lint_source(source, "<fx>")
+            if f.rule in ("MPI002", "DET002")]
+
+
+def test_magic_tag_reuses_existing_constant():
+    fixed, count = fix("""
+        TAG_HALO = 7
+
+        def step(ctx):
+            ctx.comm.send(b"x", 1, tag=7)
+    """)
+    assert count == 1
+    assert "tag=TAG_HALO" in fixed
+    assert "TAG_AUTO" not in fixed
+
+
+def test_magic_tag_mints_new_constant_after_imports():
+    fixed, count = fix("""
+        \"\"\"doc.\"\"\"
+        import os
+
+        def step(ctx):
+            ctx.comm.send(b"x", 1, tag=21)
+    """)
+    assert count == 1
+    lines = fixed.splitlines()
+    assert "TAG_AUTO_21 = 21" in lines
+    assert lines.index("TAG_AUTO_21 = 21") > lines.index("import os")
+    assert "tag=TAG_AUTO_21" in fixed
+
+
+def test_same_value_tags_share_one_minted_constant():
+    fixed, count = fix("""
+        def step(ctx):
+            ctx.comm.send(b"x", 1, tag=21)
+            ctx.comm.isend(b"y", 1, 21)
+    """)
+    assert count == 2
+    assert fixed.count("TAG_AUTO_21 = 21") == 1
+
+
+def test_positional_and_sendrecv_tags_fixed():
+    fixed, count = fix("""
+        def step(ctx):
+            ctx.comm.recv(0, 9)
+            ctx.comm.sendrecv(b"x", 1, 1, 9, 9)
+    """)
+    assert count == 3
+    assert "ctx.comm.recv(0, TAG_AUTO_9)" in fixed
+
+
+def test_tag_zero_untouched():
+    src = textwrap.dedent("""
+        def step(ctx):
+            ctx.comm.send(b"x", 1, tag=0)
+    """)
+    fixed, count = fix_source(src, "<fx>")
+    assert count == 0 and fixed == src
+
+
+def test_unseeded_random_seeded_with_ctx_rank():
+    fixed, count = fix("""
+        import random
+
+        def step(ctx):
+            return random.random() + random.randint(0, 9)
+    """)
+    assert count == 2
+    assert fixed.count("random.Random(ctx.rank).") == 2
+
+
+def test_unseeded_random_uses_comm_param_name():
+    fixed, count = fix("""
+        import random
+
+        def step(comm):
+            return random.random()
+    """)
+    assert count == 1
+    assert "random.Random(comm.rank).random()" in fixed
+
+
+def test_seeded_random_untouched():
+    src = textwrap.dedent("""
+        import random
+
+        def step(ctx):
+            rng = random.Random(ctx.rank)
+            return rng.random()
+    """)
+    fixed, count = fix_source(src, "<fx>")
+    assert count == 0 and fixed == src
+
+
+def test_fix_then_relint_clean():
+    src = textwrap.dedent("""
+        import random
+
+        TAG_HALO = 7
+
+        def step(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send(b"x", 1, tag=7)
+                ctx.comm.send(b"y", 1, tag=21)
+                jitter = random.random()
+            else:
+                ctx.comm.recv(0, 7)
+    """)
+    assert fixable_ids(src)  # the seed source does fire
+    fixed, count = fix_source(src, "<fx>")
+    assert count == 4
+    assert fixable_ids(fixed) == []
+
+
+def test_fix_is_idempotent():
+    src = textwrap.dedent("""
+        import random
+
+        def step(ctx):
+            ctx.comm.send(b"x", 1, tag=21)
+            return random.random()
+    """)
+    once, n1 = fix_source(src, "<fx>")
+    twice, n2 = fix_source(once, "<fx>")
+    assert n1 == 2 and n2 == 0
+    assert twice == once
+
+
+def test_syntax_error_left_alone():
+    src = "def step(ctx:\n    pass\n"
+    fixed, count = fix_source(src, "<fx>")
+    assert count == 0 and fixed == src
+
+
+def test_fixed_source_still_parses_and_preserves_other_lines():
+    import ast
+
+    src = textwrap.dedent("""
+        import random
+
+        def step(ctx):
+            total = 1 + 2  # arithmetic untouched
+            ctx.comm.send(b"x", 1, tag=21)
+            return total + random.random()
+    """)
+    fixed, _count = fix_source(src, "<fx>")
+    ast.parse(fixed)
+    assert "total = 1 + 2  # arithmetic untouched" in fixed

@@ -1,0 +1,91 @@
+"""The findings baseline ratchet (``--baseline``)."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    filter_new,
+    load_baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.analysis.findings import Finding
+
+
+def finding(rule="MPI002", path="a.py", line=3, message="m") -> Finding:
+    return Finding(rule=rule, severity="warning", path=path, line=line,
+                   col=0, message=message)
+
+
+def test_roundtrip(tmp_path):
+    target = tmp_path / "baseline.json"
+    count = write_baseline([finding(), finding(line=9)], str(target))
+    assert count == 1  # same (path, rule, message) key, count 2
+    baseline = load_baseline(str(target))
+    assert baseline[("a.py", "MPI002", "m")] == 2
+
+
+def test_baselined_findings_forgiven():
+    baseline = load_baseline_from([finding()])
+    assert filter_new([finding(line=99)], baseline) == []
+
+
+def test_new_rule_not_forgiven():
+    baseline = load_baseline_from([finding()])
+    new = finding(rule="CRY101")
+    assert filter_new([finding(), new], baseline) == [new]
+
+
+def test_excess_count_not_forgiven():
+    baseline = load_baseline_from([finding()])
+    first, second = finding(line=1), finding(line=2)
+    assert filter_new([first, second], baseline) == [second]
+
+
+def test_line_moves_do_not_resurrect():
+    # keys ignore line numbers: shifting code above a baselined finding
+    # must not break the build
+    baseline = load_baseline_from([finding(line=10)])
+    assert filter_new([finding(line=400)], baseline) == []
+
+
+def test_fixed_finding_leaves_stale_entry_harmless():
+    baseline = load_baseline_from([finding(), finding(rule="DET002")])
+    assert filter_new([finding()], baseline) == []
+
+
+def test_render_is_deterministic_and_sorted():
+    findings = [finding(path="z.py"), finding(path="a.py"),
+                finding(rule="CRY101", path="a.py")]
+    text = render_baseline(findings)
+    assert text == render_baseline(list(reversed(findings)))
+    entries = json.loads(text)["findings"]
+    assert entries == sorted(
+        entries, key=lambda e: (e["path"], e["rule"], e["message"]))
+
+
+def test_wrong_schema_rejected(tmp_path):
+    target = tmp_path / "bad.json"
+    target.write_text(json.dumps({"schema": 99, "findings": []}))
+    with pytest.raises(ValueError):
+        load_baseline(str(target))
+
+
+def test_committed_baseline_is_loadable_and_clean():
+    # the repo's committed baseline must stay parseable; it is empty
+    # because the tree verifies clean (new debt needs a justification)
+    baseline = load_baseline("lint-baseline.json")
+    assert sum(baseline.values()) == 0
+
+
+def load_baseline_from(findings):
+    import tempfile, os
+
+    fd, path = tempfile.mkstemp(suffix=".json")
+    os.close(fd)
+    try:
+        write_baseline(findings, path)
+        return load_baseline(path)
+    finally:
+        os.unlink(path)

@@ -1,0 +1,67 @@
+"""The symbolic comm-graph layer: template fitting and rendering."""
+
+from repro.analysis.commgraph import RANK, WORLD, SymExpr, fit_symbolic
+
+
+def fit(samples):
+    expr = fit_symbolic(samples)
+    return None if expr is None else str(expr)
+
+
+def test_fit_constant():
+    assert fit([(0, 4, 7), (1, 4, 7), (2, 4, 7), (3, 4, 7)]) == "7"
+
+
+def test_fit_rank_plus_const():
+    assert fit([(0, 4, 1), (1, 4, 2), (2, 4, 3)]) == "rank + 1"
+
+
+def test_fit_identity_rank():
+    assert fit([(0, 4, 0), (1, 4, 1), (2, 4, 2)]) == "rank"
+
+
+def test_fit_const_minus_rank():
+    # the two-rank partner pattern: peer = 1 - rank
+    assert fit([(0, 2, 1), (1, 2, 0)]) == "1 - rank"
+
+
+def test_fit_mirror():
+    assert fit([(0, 4, 3), (1, 4, 2), (2, 4, 1), (3, 4, 0)]) \
+        in ("n - 1 - rank", "(n - 1) - rank", "3 - rank")
+
+
+def test_fit_ring_neighbor():
+    samples = [(0, 4, 1), (1, 4, 2), (2, 4, 3), (3, 4, 0)]
+    assert fit(samples) == "(rank + 1) % n"
+
+
+def test_fit_half_shift():
+    samples = [(0, 4, 2), (1, 4, 3), (2, 4, 0), (3, 4, 1)]
+    rendered = fit(samples)
+    assert rendered in ("(rank + (n // 2)) % n", "(rank + 2) % n")
+
+
+def test_fit_xor_partner():
+    samples = [(0, 4, 1), (1, 4, 0), (2, 4, 3), (3, 4, 2)]
+    assert fit(samples) == "rank ^ 1"
+
+
+def test_fit_rejects_inconsistent():
+    assert fit_symbolic([(0, 4, 1), (1, 4, 1), (2, 4, 99)]) is None
+
+
+def test_fit_needs_two_samples():
+    assert fit_symbolic([(0, 2, 1)]) is None
+    assert fit_symbolic([]) is None
+
+
+def test_fit_evaluates_back():
+    expr = fit_symbolic([(0, 4, 1), (1, 4, 2), (2, 4, 3), (3, 4, 0)])
+    for rank in range(4):
+        assert expr.subst({"rank": rank, "n": 4}) == (rank + 1) % 4
+
+
+def test_symexpr_variables():
+    assert RANK.variables() == {"rank"}
+    assert WORLD.variables() == {"n"}
+    assert SymExpr.const(5).variables() == set()

@@ -246,3 +246,32 @@ def test_campaign_sets_and_restores_default(monkeypatch):
     assert observed == [True, True]
     assert default_sanitize() is False
     assert not result.failed
+
+
+# ------------------------------------------------- runtime parity
+
+def co_head_to_head_recv(ctx):
+    """Generator spelling of the recv/recv deadlock: runs as a real
+    coroutine under runtime='coroutines' and through run_blocking on
+    threads — the diagnosis must not depend on which."""
+    peer = 1 - ctx.rank
+    data, _ = yield from ctx.comm.co_recv(peer, TAG_PING)
+    yield from ctx.comm.co_send(b"x", peer, TAG_PING)
+    return data
+
+
+def _diagnose(engine: str) -> DeadlockDiagnosis:
+    with pytest.raises(DeadlockDiagnosis) as exc_info:
+        run_with_timeout(
+            api.run_job, co_head_to_head_recv, nranks=2,
+            sanitize=True, engine=engine)
+    return exc_info.value
+
+
+def test_deadlock_diagnosis_identical_across_runtimes():
+    threads = _diagnose("threads")
+    coroutines = _diagnose("coroutines")
+    assert sorted(threads.cycle) == sorted(coroutines.cycle) == [0, 1]
+    assert str(threads) == str(coroutines)
+    assert "wait-for cycle" in str(coroutines)
+    assert "rank 0 waiting on recv(from rank 1" in str(coroutines)

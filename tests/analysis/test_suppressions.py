@@ -94,3 +94,112 @@ def test_suppression_does_not_leak_to_other_lines():
             ctx.comm.send(b"x", 1, 42)  # lint-ok: MPI002
             ctx.comm.send(b"y", 1, 43)
     """) == ["MPI002"]
+
+
+# ---------------------------------------------------- edge cases
+
+def test_decorated_function_preceding_comment():
+    # the suppression comment rides the call line, not the decorator
+    assert ids("""
+        import functools
+
+        def wrap(fn):
+            return fn
+
+        @wrap
+        def step(ctx):
+            # lint-ok: MPI002
+            ctx.comm.send(b"x", 1, 42)
+    """) == []
+
+
+def test_comment_above_decorator_does_not_reach_body():
+    assert ids("""
+        def wrap(fn):
+            return fn
+
+        # lint-ok: MPI002
+        @wrap
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)
+    """) == ["MPI002"]
+
+
+def test_mixed_known_and_unknown_ids():
+    # an unknown id in the list neither errors nor disables the known one
+    assert ids("""
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)  # lint-ok: MPI002, NOPE999
+    """) == []
+
+
+def test_unknown_id_alone_suppresses_nothing():
+    assert ids("""
+        def step(ctx):
+            ctx.comm.send(b"x", 1, 42)  # lint-ok: NOPE999
+    """) == ["MPI002"]
+
+
+# ------------------------------- verifier rules share the grammar
+
+def verify_ids(source: str) -> list[str]:
+    from repro.analysis import verify_source
+
+    result = verify_source(textwrap.dedent(source), "<fx>", sizes=(2,))
+    return sorted({f.rule for f in result.findings})
+
+
+MISMATCH = """
+    # verify-sizes: 2
+
+    def step(ctx):
+        if ctx.rank == 0:
+            ctx.comm.send(b"x", 1, tag=5)
+        else:
+            data, _st = ctx.comm.recv(0, 6)
+"""
+
+
+def test_verifier_finding_unsuppressed_baseline():
+    found = verify_ids(MISMATCH)
+    assert "MPI101" in found
+
+
+def test_line_suppression_covers_verifier_rules():
+    assert verify_ids("""
+        # verify-sizes: 2
+
+        def step(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send(b"x", 1, tag=5)  # lint-ok: MPI101
+            else:
+                data, _st = ctx.comm.recv(0, 6)  # lint-ok: MPI102
+    """) == []
+
+
+def test_file_level_suppression_covers_verifier_rules():
+    assert verify_ids("""
+        # lint-ok-file: MPI101, MPI102
+        # verify-sizes: 2
+
+        def step(ctx):
+            if ctx.rank == 0:
+                ctx.comm.send(b"x", 1, tag=5)
+            else:
+                data, _st = ctx.comm.recv(0, 6)
+    """) == []
+
+
+def test_file_level_crypto_taint_suppression():
+    assert verify_ids("""
+        # lint-ok-file: CRY101
+
+        def step(ctx):
+            key = b"k" * 32
+            print("debug", key)
+    """) == []
+    assert verify_ids("""
+        def step(ctx):
+            key = b"k" * 32
+            print("debug", key)
+    """) == ["CRY101"]
