@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install check lint verify check-conformance check-sanitize \
-	check-resilience check-cryptmpi \
+	check-resilience check-cryptmpi check-hostile \
 	check-predict check-scale check-runtime-parity test test-fast test-all \
 	bench bench-baseline bench-pytest \
 	trace-goldens check-tracing-overhead \
@@ -15,7 +15,7 @@ PYTHON ?= python
 # executes zero runners), a sanitized re-run of the fast tier, and the
 # fault-sweep determinism invariant.
 check: lint verify test campaign-fast check-campaign-cache check-sanitize \
-	check-resilience check-cryptmpi check-predict check-scale \
+	check-resilience check-cryptmpi check-hostile check-predict check-scale \
 	check-runtime-parity check-conformance
 
 # Static misuse analysis (MPI protocol, determinism, crypto) over the
@@ -77,6 +77,21 @@ check-cryptmpi:
 	$(PYTHON) -m repro.experiments run cryptmpi --output results/cryptmpi-b
 	diff -r results/cryptmpi-a results/cryptmpi-b
 	@echo "check-cryptmpi: two pipelined-crypto sweeps byte-identical"
+
+# Hostile-fabric determinism: the hostile experiment (WAN/IoT presets
+# with seeded jitter/wobble/loss, bootstrap CIs over seeded reps) run
+# twice must produce byte-identical artifacts — noise draws, loss
+# sequences, and resampling are all seeded.  REPRO_HOSTILE_REPS caps the
+# per-cell repetitions so the gate stays fast; the committed
+# results/hostile.* are the full 20-rep run.
+check-hostile:
+	rm -rf results/hostile-a results/hostile-b
+	REPRO_HOSTILE_REPS=5 \
+		$(PYTHON) -m repro.experiments run hostile --output results/hostile-a
+	REPRO_HOSTILE_REPS=5 \
+		$(PYTHON) -m repro.experiments run hostile --output results/hostile-b
+	diff -r results/hostile-a results/hostile-b
+	@echo "check-hostile: two capped hostile sweeps byte-identical"
 
 # Prediction-engine determinism: calibrate + validate (the predict
 # experiment sweeps a ~2000-cell off-anchor grid against the simulator)

@@ -46,8 +46,9 @@ from repro.experiments.registry import (
     get_experiment,
     list_experiments,
 )
+from repro.experiments.stats import JobStats, StatsSpec, parse_stats_spec
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec, parse_cluster_spec
-from repro.models.network import NetworkModel
+from repro.models.network import FabricSpec, NetworkModel, parse_network_spec
 from repro.models.predict import Prediction, PredictionModel
 from repro.simmpi.faults import FaultInjector, FaultPlan, parse_fault_plan
 from repro.simmpi.resilience import (
@@ -71,9 +72,11 @@ __all__ = [
     "CryptoPlan",
     "EngineOptions",
     "Experiment",
+    "FabricSpec",
     "FaultInjector",
     "FaultPlan",
     "JobResult",
+    "JobStats",
     "PAPER_CLUSTER",
     "Prediction",
     "PredictionModel",
@@ -81,6 +84,7 @@ __all__ = [
     "ResilienceReport",
     "RunOptions",
     "SecurityConfig",
+    "StatsSpec",
     "SweepPoint",
     "TraceMode",
     "calibrate_predictor",
@@ -91,7 +95,9 @@ __all__ = [
     "parse_crypto_plan",
     "parse_engine_options",
     "parse_fault_plan",
+    "parse_network_spec",
     "parse_resilience_policy",
+    "parse_stats_spec",
     "parse_trace_mode",
     "predict",
     "run_campaign",
@@ -141,6 +147,11 @@ class RunOptions:
     coroutine scheduler or the historical thread-per-rank fallback —
     plus the rank ceiling and the handoff checks; None defers to the
     process-wide default (:func:`repro.des.options.set_default_engine_options`).
+
+    ``stats`` (a :class:`repro.experiments.stats.StatsSpec` or a spec
+    string like ``"reps=20,confidence=95%"``) turns the job into seeded
+    repetitions: the fabric's noise seed is offset per repetition and
+    ``JobResult.stats`` carries the samples plus a bootstrap CI.
     """
 
     trace: TraceMode = False
@@ -149,6 +160,7 @@ class RunOptions:
     resilience: ResiliencePolicy | None = None
     cluster: ClusterSpec | None = None
     engine: EngineOptions | None = None
+    stats: StatsSpec | None = None
 
     def __post_init__(self) -> None:
         # normalize the trace mode up front so equality between an
@@ -174,6 +186,13 @@ class RunOptions:
             raise TypeError(
                 f"cluster must be a ClusterSpec or None, got {self.cluster!r}"
             )
+        if isinstance(self.stats, str):
+            object.__setattr__(self, "stats", parse_stats_spec(self.stats))
+        if self.stats is not None and not isinstance(self.stats, StatsSpec):
+            raise TypeError(
+                f"stats must be a StatsSpec, a spec string, or None, "
+                f"got {self.stats!r}"
+            )
 
 
 def _resolve_options(
@@ -186,8 +205,26 @@ def _resolve_options(
     cluster: ClusterSpec | None = None,
     engine: EngineOptions | str | None = None,
     runtime: str | None = None,
+    stats: StatsSpec | str | None = None,
+    repetitions: int | None = None,
 ) -> RunOptions:
     """One RunOptions from the loose kwargs and/or the bundle."""
+    if repetitions is not None:
+        _warn_once(
+            "repetitions",
+            "repetitions= is deprecated; pass stats=StatsSpec(reps=...) "
+            "or a spec string like stats='reps=20' (or fold it into "
+            "options=RunOptions(stats=...))",
+        )
+        if stats is not None:
+            raise TypeError("pass stats= or repetitions=, not both")
+        stats = StatsSpec(reps=repetitions)
+    if isinstance(stats, str):
+        stats = parse_stats_spec(stats)
+    if stats is not None and not isinstance(stats, StatsSpec):
+        raise TypeError(
+            f"stats must be a StatsSpec, a spec string, or None, got {stats!r}"
+        )
     if runtime is not None:
         _warn_once(
             "runtime",
@@ -229,11 +266,12 @@ def _resolve_options(
             or faults is not None
             or sanitize is not None
             or resilience is not None
+            or stats is not None
         ):
             raise TypeError(
                 "pass the run options either individually (trace=, "
-                "faults=, sanitize=, resilience=, cluster=, engine=) or "
-                "bundled via options=RunOptions(...), not both"
+                "faults=, sanitize=, resilience=, cluster=, engine=, "
+                "stats=) or bundled via options=RunOptions(...), not both"
             )
         if engine is not None:
             if options.engine is not None:
@@ -259,7 +297,8 @@ def _resolve_options(
             return replace(options, cluster=cluster)
         return options
     return RunOptions(trace=trace, faults=faults, sanitize=sanitize,
-                      resilience=resilience, cluster=cluster, engine=engine)
+                      resilience=resilience, cluster=cluster, engine=engine,
+                      stats=stats)
 
 
 def _fresh_injector(faults: FaultSpec) -> FaultInjector | None:
@@ -299,6 +338,11 @@ class JobResult:
     #: a :class:`repro.simmpi.resilience.ResilienceReport` when the job
     #: ran with a :class:`ResiliencePolicy` armed (None otherwise)
     resilience: ResilienceReport | None = None
+    #: a :class:`repro.experiments.stats.JobStats` when the job ran
+    #: with a :class:`StatsSpec` armed (None otherwise): the per-
+    #: repetition duration samples plus the bootstrap estimate.  The
+    #: rest of the result (results/trace/reports) is repetition 0's.
+    stats: JobStats | None = None
 
 
 @dataclass(frozen=True)
@@ -315,8 +359,12 @@ class SweepPoint:
         return f"{self.network}/{lib}"
 
 
-def _network_name(network: str | NetworkModel) -> str:
-    return network if isinstance(network, str) else network.name
+def _network_name(network: str | FabricSpec | NetworkModel) -> str:
+    if isinstance(network, str):
+        return network
+    if isinstance(network, FabricSpec):
+        return network.token()
+    return network.name
 
 
 def run_job(
@@ -324,7 +372,7 @@ def run_job(
     *,
     nranks: int = 2,
     security: SecurityConfig | None = None,
-    network: str | NetworkModel = "ethernet",
+    network: str | FabricSpec | NetworkModel = "ethernet",
     cluster: ClusterSpec | None = None,
     placement: str = "block",
     trace: TraceMode = False,
@@ -335,6 +383,8 @@ def run_job(
     options: RunOptions | None = None,
     engine: EngineOptions | str | None = None,
     runtime: str | None = None,
+    stats: StatsSpec | str | None = None,
+    repetitions: int | None = None,
 ) -> JobResult:
     """Run *workload* on *nranks* simulated ranks; the facade's mpiexec.
 
@@ -372,9 +422,18 @@ def run_job(
     resilience/cluster as one :class:`RunOptions` (equivalent
     byte-for-byte).  *cluster* defaults to the paper's testbed
     (:data:`PAPER_CLUSTER`).
+
+    *network* accepts a bare fabric name (``"ethernet"``), a fabric
+    spec string (``"wan:jitter=10%,loss=2%,seed=7"``), a
+    :class:`FabricSpec`, or a prebuilt model.  *stats* (a
+    :class:`StatsSpec` or ``"reps=20,confidence=95%"``) runs the job as
+    seeded repetitions — each offsets the fabric's noise seed — and
+    attaches the samples + bootstrap CI as ``JobResult.stats``; the
+    deprecated ``repetitions=N`` keyword maps to ``StatsSpec(reps=N)``.
     """
     opts = _resolve_options(options, trace, faults, fault_injector,
-                            sanitize, resilience, cluster, engine, runtime)
+                            sanitize, resilience, cluster, engine, runtime,
+                            stats=stats, repetitions=repetitions)
     trace = opts.trace
     cluster = opts.cluster if opts.cluster is not None else PAPER_CLUSTER
     if security is None:
@@ -395,27 +454,44 @@ def run_job(
             ctx.enc = EncryptedComm(ctx, security)
             return workload(ctx)
 
-    sim = run_program(
-        nranks,
-        program,
-        network=network,
-        cluster=cluster,
-        placement=placement,
-        trace=trace,
-        fault_injector=_fresh_injector(opts.faults),
-        sanitize=opts.sanitize,
-        resilience=opts.resilience,
-        engine=opts.engine,
-    )
-    return JobResult(
-        results=sim.results,
-        duration=sim.duration,
-        spans=sim.spans,
-        trace=sim.trace,
-        security=security,
-        network=_network_name(network),
-        sanitizer=sim.sanitizer,
-        resilience=sim.resilience,
+    def _execute(net) -> JobResult:
+        sim = run_program(
+            nranks,
+            program,
+            network=net,
+            cluster=cluster,
+            placement=placement,
+            trace=trace,
+            fault_injector=_fresh_injector(opts.faults),
+            sanitize=opts.sanitize,
+            resilience=opts.resilience,
+            engine=opts.engine,
+        )
+        return JobResult(
+            results=sim.results,
+            duration=sim.duration,
+            spans=sim.spans,
+            trace=sim.trace,
+            security=security,
+            network=_network_name(network),
+            sanitizer=sim.sanitizer,
+            resilience=sim.resilience,
+        )
+
+    stats_spec = opts.stats
+    if stats_spec is None:
+        return _execute(network)
+    if isinstance(trace, TraceRecorder) and stats_spec.reps > 1:
+        raise RuntimeError(
+            "one TraceRecorder cannot be shared across repetitions; use "
+            "trace='events' so each repetition records its own stream"
+        )
+    from repro.experiments.stats import job_stats, rep_networks
+
+    runs = [_execute(net) for net in rep_networks(network, stats_spec)]
+    return replace(
+        runs[0],
+        stats=job_stats(tuple(r.duration for r in runs), stats_spec),
     )
 
 
@@ -423,7 +499,7 @@ def sweep(
     workload: Callable[[RankContext], Any],
     *,
     nranks: int = 2,
-    networks: Sequence[str | NetworkModel] = ("ethernet",),
+    networks: Sequence[str | FabricSpec | NetworkModel] = ("ethernet",),
     securities: Iterable[SecurityConfig | None] = (None,),
     cluster: ClusterSpec | None = None,
     placement: str = "block",
@@ -436,6 +512,8 @@ def sweep(
     options: RunOptions | None = None,
     engine: EngineOptions | str | None = None,
     runtime: str | None = None,
+    stats: StatsSpec | str | None = None,
+    repetitions: int | None = None,
 ) -> list[SweepPoint]:
     """Run *workload* across the (network × security) grid.
 
@@ -458,9 +536,14 @@ def sweep(
     cells run on that many worker processes and the returned list is
     still in grid order, byte-identical to a serial sweep.  On
     platforms without ``fork`` the sweep silently degrades to serial.
+
+    *networks* entries may be bare names, fabric spec strings, or
+    :class:`FabricSpec` values (see :func:`run_job`); cell labels use
+    the canonical token.  *stats* arms seeded repetitions per cell.
     """
     opts = _resolve_options(options, trace, faults, fault_injector,
-                            sanitize, resilience, cluster, engine, runtime)
+                            sanitize, resilience, cluster, engine, runtime,
+                            stats=stats, repetitions=repetitions)
     trace = opts.trace
     faults = opts.faults
     cluster = opts.cluster
@@ -492,6 +575,13 @@ def sweep(
 
     def make_task(net, sec):
         def task() -> JobResult:
+            # A FaultPlan passes through intact so a stats-armed cell
+            # can rebuild a fresh injector per repetition; other fault
+            # specs resolve to one injector per cell, as before.
+            cell_faults = (
+                faults if isinstance(faults, FaultPlan)
+                else _fresh_injector(faults)
+            )
             return run_job(
                 workload,
                 nranks=nranks,
@@ -500,11 +590,12 @@ def sweep(
                 placement=placement,
                 options=RunOptions(
                     trace=trace,
-                    faults=_fresh_injector(faults),
+                    faults=cell_faults,
                     sanitize=opts.sanitize,
                     resilience=opts.resilience,
                     cluster=cluster,
                     engine=opts.engine,
+                    stats=opts.stats,
                 ),
             )
 

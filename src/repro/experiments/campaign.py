@@ -120,6 +120,17 @@ def experiment_config_digest(
     return _digest(doc)
 
 
+def _network_token(network: Any) -> str:
+    """Canonical cache-key spelling of any ``network=`` argument."""
+    if isinstance(network, str):
+        from repro.models.network import parse_network_spec
+
+        return parse_network_spec(network).token()
+    if hasattr(network, "token"):  # FabricSpec
+        return network.token()
+    return network.name  # NetworkModel / NoiseModel
+
+
 def job_config_digest(
     workload: Callable,
     *,
@@ -149,7 +160,10 @@ def job_config_digest(
             f"{getattr(workload, '__qualname__', repr(workload))}",
             "workload_src": src,
             "nranks": nranks,
-            "network": network if isinstance(network, str) else network.name,
+            # FabricSpec/NoiseModel carry their canonical token (a clean
+            # spec tokens to the bare name, so historical keys survive);
+            # a noisy fabric therefore always gets its own cache key.
+            "network": _network_token(network),
             "security": _jsonable(security),
             "placement": placement,
             "cluster": cluster.token() if hasattr(cluster, "token") else _jsonable(cluster),

@@ -46,6 +46,24 @@ def _parse_crypto_arg(args):
         return _BAD_SPEC
 
 
+def _parse_network_arg(args):
+    """Parse ``--network NAME-or-SPEC`` into a FabricSpec.
+
+    Accepts anything :func:`repro.models.network.parse_network_spec`
+    does — bare presets and noisy specs like ``wan:jitter=10%,loss=2%``
+    alike (KeyError/ValueError both name the valid fabrics/keys).
+    """
+    from repro.models.network import parse_network_spec
+
+    try:
+        return parse_network_spec(args.network)
+    except (KeyError, ValueError) as exc:
+        # KeyError reprs its message; unwrap to keep it readable
+        msg = exc.args[0] if exc.args else exc
+        print(f"bad --network spec: {msg}", file=sys.stderr)
+        return _BAD_SPEC
+
+
 def _parse_runtime_arg(args):
     """Parse ``--runtime SPEC`` into EngineOptions (None when absent)."""
     spec = getattr(args, "runtime", None)
@@ -251,8 +269,12 @@ def _cmd_nas(args) -> int:
     engine = _parse_runtime_arg(args)
     if engine is _BAD_SPEC:
         return 2
+    fabric = _parse_network_arg(args)
+    if fabric is _BAD_SPEC:
+        return 2
     from repro.des.options import set_default_engine_options
 
+    net_label = fabric.token()
     perturbed = dict(faults=faults, resilience=policy, crypto=crypto)
     names = NAS_BENCHMARKS() if args.benchmark == "all" else [args.benchmark]
     # --runtime applies to every job of the command (baseline and
@@ -263,17 +285,17 @@ def _cmd_nas(args) -> int:
         for name in names:
             # the baseline column stays the calibrated clean-fabric number;
             # faults/resilience perturb the runs under comparison
-            base = run_nas(name, network=args.network)
-            line = f"{name.upper():4s} {args.network}: baseline {base.total_seconds:7.2f}s"
+            base = run_nas(name, network=fabric)
+            line = f"{name.upper():4s} {net_label}: baseline {base.total_seconds:7.2f}s"
             if args.library:
-                enc = run_nas(name, network=args.network, library=args.library,
+                enc = run_nas(name, network=fabric, library=args.library,
                               **perturbed)
                 line += (
                     f"  {args.library} {enc.total_seconds:7.2f}s "
                     f"(+{overhead_percent(enc.total_seconds, base.total_seconds):.2f}%)"
                 )
             elif faults is not None or policy is not None:
-                lossy = run_nas(name, network=args.network, **perturbed)
+                lossy = run_nas(name, network=fabric, **perturbed)
                 line += (
                     f"  faulty {lossy.total_seconds:7.2f}s "
                     f"(+{overhead_percent(lossy.total_seconds, base.total_seconds):.2f}%)"
@@ -290,13 +312,18 @@ def _cmd_analyze(args) -> int:
     from repro.experiments.analysis import crossover_size, explain_pingpong
     from repro.util.units import format_bytes, parse_size
 
+    fabric = _parse_network_arg(args)
+    if fabric is _BAD_SPEC:
+        return 2
+    # The decomposition is closed-form over the calibrated constants, so
+    # only the base preset matters (noise options parse but don't bite).
     size = parse_size(args.size)
-    breakdown = explain_pingpong(args.network, args.library, size)
+    breakdown = explain_pingpong(fabric.base, args.library, size)
     print(breakdown.render())
-    cutoff = crossover_size(args.network, args.library)
+    cutoff = crossover_size(fabric.base, args.library)
     label = format_bytes(cutoff) if cutoff else "none — even 1B exceeds it"
     print(
-        f"\nlargest size with <=10% predicted overhead on {args.network} "
+        f"\nlargest size with <=10% predicted overhead on {fabric.base} "
         f"with {args.library}: {label}"
     )
     return 0
@@ -565,7 +592,8 @@ def main(argv: list[str] | None = None) -> int:
     nas = sub.add_parser("nas", help="run one NAS proxy at paper scale")
     nas.add_argument("benchmark", help="bt|cg|ep|ft|is|lu|mg|sp|all")
     nas.add_argument("--network", default="ethernet",
-                     choices=["ethernet", "infiniband"])
+                     help="fabric preset or spec, e.g. infiniband or "
+                     "'wan:jitter=10%%,loss=2%%,seed=7'")
     nas.add_argument("--library", default=None,
                      help="boringssl|openssl|libsodium|cryptopp (default: baseline only)")
     nas.add_argument(
@@ -597,7 +625,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     analyze.add_argument("size", help="message size, e.g. 2MB")
     analyze.add_argument("--network", default="ethernet",
-                         choices=["ethernet", "infiniband"])
+                         help="fabric preset (noise options are accepted "
+                         "but ignored: the decomposition is closed-form)")
     analyze.add_argument("--library", default="boringssl")
     analyze.set_defaults(func=_cmd_analyze)
     trace = sub.add_parser(

@@ -16,6 +16,7 @@ from repro.experiments import figures, tables
 from repro.experiments.report import Artifact
 from repro.experiments.cryptmpi import cryptmpi
 from repro.experiments.extras import unreported_collectives
+from repro.experiments.hostile import hostile
 from repro.experiments.predict import predict_validation
 from repro.experiments.resilience import resilience
 from repro.experiments.scalability import scalability
@@ -98,6 +99,14 @@ def _reg() -> dict[str, Experiment]:
             scale,
             "slow",
             cluster=SCALE_CLUSTER,
+        ),
+        Experiment(
+            "hostile",
+            "§V ext.",
+            "Hostile fabrics (WAN/IoT + jitter/loss), bootstrap CIs",
+            hostile,
+            "medium",
+            cluster=parse_cluster_spec("2x8"),
         ),
         Experiment(
             "predict",

@@ -164,6 +164,33 @@ STREAM_BANDWIDTH = {
     },
 }
 
+def _hockney_mbps(latency_s: float, bw_mbps: float) -> dict[int, float]:
+    """Closed-form throughput curve (MB/s): ``thr(s) = s / (L + s/B)``.
+
+    The hostile fabrics (WAN, IoT) have no paper tables to digitize, so
+    their ping-pong/stream anchors are generated from a two-parameter
+    Hockney link — the same latency/bandwidth decomposition the
+    analytical prediction engine fits to the measured fabrics.
+    """
+    return {
+        s: (s / MB) / (latency_s + s / (bw_mbps * MB))
+        for s in ENCDEC_SIZES
+    }
+
+
+# Hostile-fabric presets (ROADMAP item 5).  ``wan`` is a
+# metro/continental path: ~15 ms one-way, a ~1 Gb/s bottleneck link,
+# and deep enough buffers that a pipelined stream still approaches line
+# rate.  ``iot`` follows the constrained-uplink setting of the IoT
+# cryptography-library comparison (PAPERS.md): ~40 ms one-way, a few
+# Mb/s of air bandwidth, and large per-message radio overheads.  Both
+# are meant to be wrapped in a noisy FabricSpec (jitter/wobble/loss);
+# the constants here are the noise-free medians.
+PINGPONG_BASELINE["wan"] = _hockney_mbps(15.0e-3, 110.0)
+PINGPONG_BASELINE["iot"] = _hockney_mbps(40.0e-3, 0.45)
+STREAM_BANDWIDTH["wan"] = _hockney_mbps(2.0e-4, 118.0)
+STREAM_BANDWIDTH["iot"] = _hockney_mbps(2.0e-3, 0.50)
+
 #: Fabric constants.  ``latency`` is the one-way wire+stack latency,
 #: ``msg_overhead`` the per-message CPU cost at each end (MPI matching,
 #: descriptor handling), ``copy_bw`` the memcpy bandwidth for eager
@@ -194,6 +221,29 @@ NETWORK_CONSTANTS = {
         # ("probably due to network contention", §V-B).
         contention_factor=0.35,
         contention_free_senders=4,
+    ),
+    # Hostile fabrics (see the _hockney_mbps block above).  Eager
+    # thresholds stay small on the IoT link — 4 KiB is already ~8 ms of
+    # air time, so rendezvous copies are irrelevant next to the wire.
+    "wan": dict(
+        latency=15.0e-3,
+        msg_overhead=5.0e-6,
+        copy_bw=5.0e9,
+        nic_capacity=120.0 * MB,
+        eager_threshold=64 * KiB,
+        nic_msg_time=1.0e-6,
+        contention_factor=0.0,
+        contention_free_senders=8,
+    ),
+    "iot": dict(
+        latency=40.0e-3,
+        msg_overhead=80.0e-6,
+        copy_bw=0.4e9,
+        nic_capacity=0.60 * MB,
+        eager_threshold=4 * KiB,
+        nic_msg_time=20.0e-6,
+        contention_factor=0.0,
+        contention_free_senders=8,
     ),
 }
 

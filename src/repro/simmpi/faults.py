@@ -90,6 +90,43 @@ def _flip_bit(payload, bit_index: int):
     return bytes(data)
 
 
+class ChainedInjector:
+    """Compose fault injectors: each stage filters the previous one's
+    output envelopes.
+
+    Used when a lossy fabric (``FabricSpec.loss_plan()``) and an
+    explicit ``FaultPlan`` are both in play: the fabric's iid drops
+    apply first (the wire loses the message before any injected
+    misbehaviour could), then the user's plan.  Each part keeps its own
+    RNG and ledger; :attr:`injected` merges the ledgers for reporting.
+    """
+
+    def __init__(self, parts):
+        self.parts = tuple(parts)
+        if not self.parts:
+            raise ValueError("ChainedInjector needs at least one injector")
+
+    def apply(self, env: Envelope) -> list[Envelope]:
+        outs = [env]
+        for part in self.parts:
+            outs = [out for e in outs for out in part.apply(e)]
+            if not outs:
+                break
+        return outs
+
+    @property
+    def injected(self) -> dict[FaultAction, int]:
+        merged = {a: 0 for a in FaultAction}
+        for part in self.parts:
+            for action, count in part.injected.items():
+                merged[action] += count
+        return merged
+
+    @property
+    def rts_duplicates_skipped(self) -> int:
+        return sum(part.rts_duplicates_skipped for part in self.parts)
+
+
 # -- declarative plans ---------------------------------------------------------
 
 

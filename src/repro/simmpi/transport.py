@@ -49,6 +49,9 @@ class Transport:
         self.sched = scheduler
         self.cluster = cluster
         self.net = cluster.network
+        #: noisy fabrics (repro.models.network.NoiseModel) perturb each
+        #: inter-node delivery leg; clean models have no such method
+        self._perturb = getattr(self.net, "perturb_delay", None)
         #: optional CommTrace recording every message — the single
         #: recording point for *all* traffic (point-to-point and
         #: collective-internal alike); upper layers never record
@@ -231,6 +234,15 @@ class Transport:
 
     def _deliver_after(self, env: Envelope, delay: float) -> None:
         """Schedule delivery *delay* from now, behind the route's chain."""
+        if self._perturb is not None and not self.cluster.same_node(
+            env.src, env.dst
+        ):
+            # Jitter/wobble the wire leg (shm stays clean).  Before the
+            # resilience arm, so retransmission timers budget for the
+            # perturbed flight time; retries re-enter here and get a
+            # fresh draw.  FIFO order survives regardless — delivery is
+            # chained on prev_delivery, not on schedule order.
+            delay = self._perturb(delay)
         if self.resilience is not None:
             self.resilience.arm(env, delay)
         self.sched.engine.schedule(delay, self._try_deliver, env)

@@ -16,8 +16,9 @@ from repro.des.engine import DeadlockError
 from repro.des.options import EngineOptions, resolve_engine_options
 from repro.des.process import Scheduler, _Sleep
 from repro.models.cpu import PAPER_CLUSTER, ClusterSpec
-from repro.models.network import NetworkModel, get_network
+from repro.models.network import FabricSpec, NetworkModel, resolve_network
 from repro.simmpi.comm import CommHandle, Communicator
+from repro.simmpi.faults import ChainedInjector
 from repro.simmpi.tracing import TraceMode, resolve_trace
 from repro.simmpi.topology import ClusterRuntime
 
@@ -133,7 +134,7 @@ def run_program(
     nranks: int,
     program: Callable[[RankContext], Any],
     *,
-    network: str | NetworkModel = "ethernet",
+    network: str | FabricSpec | NetworkModel = "ethernet",
     cluster: ClusterSpec = PAPER_CLUSTER,
     placement: str = "block",
     trace: TraceMode = False,
@@ -208,7 +209,18 @@ def run_program(
         or (opts.runtime == "auto" and is_gen_program)
         else "threads"
     )
-    net = get_network(network) if isinstance(network, str) else network
+    fabric, net = resolve_network(network)
+    if fabric is not None and fabric.loss:
+        # A lossy fabric compiles to the existing fault machinery: its
+        # seeded iid-drop plan chains *in front of* any explicit
+        # injector (the wire loses the message before an adversary
+        # could touch it).  Pair loss with a resilience policy or the
+        # job deadlocks, exactly as with an explicit drop plan.
+        loss_injector = fabric.loss_plan().build()
+        if fault_injector is None:
+            fault_injector = loss_injector
+        else:
+            fault_injector = ChainedInjector((loss_injector, fault_injector))
     scheduler = Scheduler(runtime=mode, handoff_check=opts.handoff_check)
     recorder, comm_trace = resolve_trace(trace)
     runtime = ClusterRuntime(scheduler, cluster, net, nranks, placement,
@@ -216,7 +228,9 @@ def run_program(
     if recorder is not None:
         recorder.attach(scheduler)
         recorder.emit("engine", "job_start", -1, nranks=nranks,
-                      network=net.name, placement=placement)
+                      network=fabric.token() if fabric is not None
+                      else net.name,
+                      placement=placement)
     sanitizer = None
     if resolve_sanitize(sanitize):
         sanitizer = Sanitizer(nranks,

@@ -114,6 +114,45 @@ def format_time(seconds: float) -> str:
     return f"{seconds:.3f}s"
 
 
+def parse_fraction(text: str | float) -> float:
+    """Parse a rate/probability: '10%' -> 0.1, '0.02' -> 0.02.
+
+    Used by the spec parsers (fabric jitter/wobble/loss, stats
+    confidence).  Range checks are the caller's business.
+
+    >>> parse_fraction("10%")
+    0.1
+    >>> parse_fraction("0.025")
+    0.025
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return float(text)
+    text = text.strip()
+    if text.endswith("%"):
+        return float(text[:-1]) / 100.0
+    return float(text)
+
+
+def format_fraction(value: float) -> str:
+    """Canonical spec-token spelling of a fraction; exact round-trip.
+
+    Whole percentages print as 'N%'; anything else falls back to repr,
+    which Python guarantees re-parses to the same float.
+
+    >>> format_fraction(0.1)
+    '10%'
+    >>> format_fraction(0.123456)
+    '0.123456'
+    """
+    pct = value * 100.0
+    whole = round(pct)
+    # 0.1 * 100 is 10.000000000000002; the authoritative test is that
+    # the printed form re-parses to the exact same float.
+    if abs(pct - whole) < 1e-9 and whole / 100.0 == value:
+        return f"{int(whole)}%"
+    return repr(value)
+
+
 def mb_per_s(bytes_count: int | float, seconds: float) -> float:
     """Throughput in the paper's decimal MB/s for *bytes_count* over *seconds*."""
     if seconds <= 0:

@@ -14,7 +14,10 @@ from dataclasses import replace
 from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
 from repro.encmpi.plan import apply_default_plan
 from repro.models.cpu import parse_cluster_spec
+from repro.models.network import FabricSpec
 from repro.simmpi import run_program
+from repro.simmpi.faults import FaultPlan
+from repro.simmpi.resilience import ResiliencePolicy
 
 MULTIPAIR_CLUSTER = parse_cluster_spec("2x8")
 
@@ -28,17 +31,22 @@ def multipair_aggregate_throughput(
     size: int,
     pairs: int,
     *,
-    network: str = "ethernet",
+    network: str | FabricSpec = "ethernet",
     library: str | None = None,
     key_bits: int = 256,
     window: int = DEFAULT_WINDOW,
     iters: int = DEFAULT_ITERS,
     crypto: CryptoPlan | None = None,
+    faults: FaultPlan | None = None,
+    resilience: ResiliencePolicy | None = None,
 ) -> float:
     """Aggregate uni-directional throughput in bytes/s over all pairs.
 
     *crypto* selects the encrypted runs' pipelining discipline (see
-    :func:`repro.workloads.pingpong.pingpong_oneway_time`).
+    :func:`repro.workloads.pingpong.pingpong_oneway_time`); *faults*
+    and *resilience* work as there — required together on lossy
+    fabrics, where the reported goodput then includes retransmission
+    stalls.
     """
     if not 1 <= pairs <= MULTIPAIR_CLUSTER.cores_per_node:
         raise ValueError(
@@ -128,6 +136,8 @@ def multipair_aggregate_throughput(
         thread_program if pipelined else co_program,
         network=network,
         cluster=MULTIPAIR_CLUSTER,
+        fault_injector=faults.build() if faults is not None else None,
+        resilience=resilience,
         engine="threads" if pipelined else None,
     )
     return sum(per_pair_rate)

@@ -15,6 +15,7 @@ from dataclasses import replace
 from repro.encmpi import CryptoPlan, EncryptedComm, SecurityConfig
 from repro.encmpi.plan import apply_default_plan
 from repro.models.cpu import parse_cluster_spec
+from repro.models.network import FabricSpec
 from repro.simmpi import run_program
 from repro.simmpi.faults import FaultPlan
 from repro.simmpi.resilience import ResiliencePolicy
@@ -35,7 +36,7 @@ TAG_PINGPONG = 0
 def pingpong_oneway_time(
     size: int,
     *,
-    network: str = "ethernet",
+    network: str | FabricSpec = "ethernet",
     library: str | None = None,
     key_bits: int = 256,
     iters: int = DEFAULT_ITERS,
@@ -137,7 +138,7 @@ def pingpong_oneway_time(
 def pingpong_throughput(
     size: int,
     *,
-    network: str = "ethernet",
+    network: str | FabricSpec = "ethernet",
     library: str | None = None,
     key_bits: int = 256,
     iters: int = DEFAULT_ITERS,

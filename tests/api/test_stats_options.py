@@ -1,0 +1,160 @@
+"""StatsSpec through the facade: repetition determinism, the
+repetitions= shim, and the loose-kwarg/options= exclusivity rule."""
+
+import warnings
+
+import pytest
+
+from repro import api
+from repro.experiments.stats import StatsSpec
+from repro.models.cpu import ClusterSpec
+from repro.models.network import FabricSpec
+from repro.simmpi.resilience import ResiliencePolicy
+from repro.simmpi.tracing import TraceRecorder
+
+CLUSTER = ClusterSpec(nodes=2, cores_per_node=4)
+TAG_EXCHANGE = 3
+NOISY = FabricSpec(base="wan", jitter=0.1, wobble=0.05, loss=0.02, seed=7)
+POLICY = ResiliencePolicy(max_retries=6, timeout=5e-3,
+                          escalation="plain_fallback")
+
+
+def _exchange_many(ctx):
+    for i in range(6):
+        if ctx.rank == 0:
+            ctx.comm.send(bytes([i]) * 128, 1, tag=TAG_EXCHANGE)
+            ctx.comm.recv(1, TAG_EXCHANGE)
+        else:
+            ctx.comm.recv(0, TAG_EXCHANGE)
+            ctx.comm.send(bytes([i]) * 128, 0, tag=TAG_EXCHANGE)
+    return ctx.now
+
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_ledger():
+    api._warned.clear()
+    yield
+    api._warned.clear()
+
+
+def _noisy_job(**kwargs):
+    return api.run_job(
+        _exchange_many, nranks=2, cluster=CLUSTER, network=NOISY,
+        resilience=POLICY, **kwargs,
+    )
+
+
+def test_stats_attaches_samples_and_ci():
+    job = _noisy_job(stats=StatsSpec(reps=5))
+    assert job.stats is not None
+    assert job.stats.metric == "duration"
+    assert len(job.stats.samples) == 5
+    est = job.stats.estimate
+    assert est.lo <= est.median <= est.hi
+    # the jittered fabric actually varies across the seeded reps
+    assert len(set(job.stats.samples)) > 1
+    # repetition 0 is the result the rest of the JobResult reports
+    assert job.duration == job.stats.samples[0]
+
+
+def test_stats_spec_string_accepted():
+    a = _noisy_job(stats="reps=3,confidence=90%")
+    b = _noisy_job(stats=StatsSpec(reps=3, confidence=0.9))
+    assert a.stats == b.stats
+
+
+def test_repetitions_are_byte_deterministic():
+    a = _noisy_job(stats=StatsSpec(reps=4))
+    b = _noisy_job(stats=StatsSpec(reps=4))
+    assert a.stats.samples == b.stats.samples
+    assert a.stats.estimate == b.stats.estimate
+    # a different master seed draws a different noise sequence
+    shifted = _noisy_job(stats=StatsSpec(reps=4, seed=99))
+    assert shifted.stats.samples != a.stats.samples
+
+
+def test_clean_fabric_reps_are_identical_samples():
+    job = api.run_job(
+        _exchange_many, nranks=2, cluster=CLUSTER, network="ethernet",
+        stats=StatsSpec(reps=3),
+    )
+    assert len(set(job.stats.samples)) == 1
+    assert job.stats.estimate.halfwidth == 0.0
+
+
+def test_repetitions_kwarg_shim_warns_once_and_matches_stats():
+    with pytest.warns(DeprecationWarning, match="repetitions"):
+        shimmed = _noisy_job(repetitions=3)
+    direct = _noisy_job(stats=StatsSpec(reps=3))
+    assert shimmed.stats == direct.stats
+    assert shimmed.duration == direct.duration
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second use: shim stays silent
+        _noisy_job(repetitions=2)
+
+
+def test_repetitions_and_stats_together_is_an_error():
+    with pytest.raises(TypeError, match="not both"), \
+            pytest.warns(DeprecationWarning):
+        _noisy_job(stats=StatsSpec(reps=3), repetitions=3)
+
+
+def test_stats_kwarg_conflicts_with_options_bundle():
+    with pytest.raises(TypeError, match="not both"):
+        api.run_job(
+            _exchange_many, nranks=2, cluster=CLUSTER,
+            stats=StatsSpec(reps=2), options=api.RunOptions(),
+        )
+
+
+def test_options_bundle_carries_stats():
+    bundled = api.run_job(
+        _exchange_many, nranks=2, cluster=CLUSTER, network=NOISY,
+        options=api.RunOptions(stats=StatsSpec(reps=3), resilience=POLICY),
+    )
+    loose = _noisy_job(stats=StatsSpec(reps=3))
+    assert bundled.stats == loose.stats
+
+
+def test_shared_trace_recorder_rejected_across_reps():
+    with pytest.raises(RuntimeError, match="TraceRecorder"):
+        api.run_job(
+            _exchange_many, nranks=2, cluster=CLUSTER, network=NOISY,
+            resilience=POLICY, trace=TraceRecorder(),
+            stats=StatsSpec(reps=2),
+        )
+
+
+def test_sweep_cells_get_independent_but_identical_rep_streams():
+    points = api.sweep(
+        _exchange_many, nranks=2, cluster=CLUSTER,
+        networks=(NOISY, "ethernet"),
+        resilience=POLICY, stats=StatsSpec(reps=3),
+    )
+    assert [p.network for p in points] == [NOISY.token(), "ethernet"]
+    noisy_point, clean_point = points
+    assert len(noisy_point.result.stats.samples) == 3
+    # and the whole sweep replays byte-identically
+    again = api.sweep(
+        _exchange_many, nranks=2, cluster=CLUSTER,
+        networks=(NOISY, "ethernet"),
+        resilience=POLICY, stats=StatsSpec(reps=3),
+    )
+    assert [p.result.stats for p in again] == [p.result.stats for p in points]
+
+
+def test_parallel_sweep_matches_serial():
+    serial = api.sweep(
+        _exchange_many, nranks=2, cluster=CLUSTER,
+        networks=(NOISY, FabricSpec(base="iot", jitter=0.2, seed=3)),
+        resilience=POLICY, stats=StatsSpec(reps=3),
+    )
+    threaded = api.sweep(
+        _exchange_many, nranks=2, cluster=CLUSTER,
+        networks=(NOISY, FabricSpec(base="iot", jitter=0.2, seed=3)),
+        resilience=POLICY, stats=StatsSpec(reps=3), parallel=2,
+    )
+    assert [p.result.stats for p in threaded] == \
+        [p.result.stats for p in serial]
+    assert [p.result.duration for p in threaded] == \
+        [p.result.duration for p in serial]

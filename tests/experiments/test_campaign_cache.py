@@ -60,6 +60,32 @@ def test_job_digest_misses_on_changed_network_and_nranks():
                                      network="ethernet", placement="round")
 
 
+def test_job_digest_keyed_by_canonical_fabric_token():
+    from repro.models.network import FabricSpec, get_network
+
+    base = job_config_digest(_workload, nranks=4, network="ethernet")
+    # the key changes iff the fabric token changes: aliases, the
+    # FabricSpec spelling, and the model singleton all token to
+    # "ethernet" and share the historical cache entry
+    assert base == job_config_digest(_workload, nranks=4, network="eth")
+    assert base == job_config_digest(_workload, nranks=4,
+                                     network=FabricSpec(base="ethernet"))
+    assert base == job_config_digest(_workload, nranks=4,
+                                     network=get_network("ethernet"))
+    # any noise knob (or a different seed on the same knobs) is a miss
+    noisy = job_config_digest(
+        _workload, nranks=4, network="ethernet:jitter=10%,seed=1"
+    )
+    assert noisy != base
+    assert noisy == job_config_digest(
+        _workload, nranks=4,
+        network=FabricSpec(base="ethernet", jitter=0.1, seed=1),
+    )
+    assert noisy != job_config_digest(
+        _workload, nranks=4, network="ethernet:jitter=10%,seed=2"
+    )
+
+
 def test_cell_key_invalidates_when_code_fingerprint_changes():
     exp = get_experiment("fig2")
     digest = experiment_config_digest(exp)

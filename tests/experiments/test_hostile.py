@@ -1,0 +1,43 @@
+"""The hostile experiment: capped-rep determinism and artifact shape."""
+
+import json
+
+import pytest
+
+from repro.experiments import hostile as hostile_mod
+from repro.experiments.registry import get_experiment
+from repro.experiments.report import artifact_dict
+
+
+@pytest.fixture()
+def capped_reps(monkeypatch):
+    monkeypatch.setenv(hostile_mod.REPS_ENV, "2")
+
+
+def test_registered_as_medium_tier():
+    exp = get_experiment("hostile")
+    assert exp.cost == "medium"
+    assert exp.runner is hostile_mod.hostile
+
+
+@pytest.mark.slow
+def test_hostile_is_byte_deterministic(capped_reps):
+    exp = get_experiment("hostile")
+    a = artifact_dict(exp, hostile_mod.hostile())
+    b = artifact_dict(exp, hostile_mod.hostile())
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+@pytest.mark.slow
+def test_hostile_table_covers_the_grid(capped_reps):
+    art = hostile_mod.hostile()
+    labels = [row[0] for row in art.body.rows]
+    # 2 libraries x 2 fabrics x 2 loss rates x 2 policies ping-pong
+    # cells, 4 multipair cells, 4 mtlatency cells
+    assert len(labels) == 16 + 4 + 4
+    assert sum(lab.startswith("pp ") for lab in labels) == 16
+    assert sum(lab.startswith("mp ") for lab in labels) == 4
+    assert sum(lab.startswith("mt ") for lab in labels) == 4
+    for fabric in ("wan", "iot"):
+        assert any(fabric in lab for lab in labels)
+    assert art.headlines  # policy + channel comparisons present

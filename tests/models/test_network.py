@@ -10,7 +10,7 @@ from repro.util.units import KiB, MiB
 def test_factory_aliases():
     assert get_network("eth").name == "ethernet"
     assert get_network("ib").name == "infiniband"
-    with pytest.raises(ValueError):
+    with pytest.raises(KeyError, match="valid fabric presets"):
         get_network("carrier-pigeon")
 
 
